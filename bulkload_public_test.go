@@ -1,0 +1,96 @@
+package segidx_test
+
+import (
+	"testing"
+
+	"segidx"
+	"segidx/internal/workload"
+)
+
+func TestBulkLoadRTreePublic(t *testing.T) {
+	data := workload.R1.Generate(5000, 77)
+	recs := make([]segidx.BulkRecord, len(data))
+	for i, r := range data {
+		recs[i] = segidx.BulkRecord{Rect: r, ID: segidx.RecordID(i + 1)}
+	}
+	idx, err := segidx.BulkLoadRTree(recs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if idx.Kind() != "packed-r-tree" {
+		t.Errorf("Kind = %q", idx.Kind())
+	}
+	if idx.Len() != 5000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries agree with a brute-force scan.
+	for _, q := range workload.Queries(1, 50, 78) {
+		want := 0
+		for _, r := range data {
+			if r.Intersects(q) {
+				want++
+			}
+		}
+		got, err := idx.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("count %d, want %d", got, want)
+		}
+	}
+	// The packed tree remains fully dynamic.
+	if err := idx.Insert(segidx.Point(5, 5), 99999); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := idx.Delete(1, data[0]); err != nil || n != 1 {
+		t.Fatalf("delete on packed tree: %d, %v", n, err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := segidx.BulkLoadRTree(nil, 0); err == nil {
+		t.Error("fill 0 accepted")
+	}
+	if _, err := segidx.BulkLoadRTree(nil, 1.0, segidx.WithDims(0)); err == nil {
+		t.Error("bad option accepted")
+	}
+}
+
+func TestStab(t *testing.T) {
+	idx, err := segidx.NewSRTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if err := idx.Insert(segidx.Interval(10, 20, 5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(segidx.Interval(15, 30, 5), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(segidx.Interval(40, 50, 5), 3); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Stab(17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("Stab(17, 5) = %d records, want 2", len(hits))
+	}
+	hits, err = idx.Stab(17, 6) // wrong Y
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("Stab at empty point found %d", len(hits))
+	}
+}

@@ -1,0 +1,178 @@
+// Command segbench regenerates the paper's performance experiments
+// (Kolovson & Stonebraker, SIGMOD 1991): Graphs 1-6, the 100K-tuple
+// variants, the exponential-centroid rectangle runs the paper omitted
+// (graphs 7-8 here), and ablations over the design parameters.
+//
+// Examples:
+//
+//	segbench -graph 3                 # Graph 3 at the paper's 200K tuples
+//	segbench -all -tuples 100000      # all graphs at 100K
+//	segbench -graph 6 -chart          # include an ASCII rendering
+//	segbench -ablation reserve        # branch-reserve sweep (A1)
+//	segbench -list                    # what can be run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+func main() {
+	var (
+		graphs   = flag.String("graph", "", "comma-separated graph numbers to run (1-8)")
+		all      = flag.Bool("all", false, "run every graph (1-8)")
+		tuples   = flag.Int("tuples", 200000, "dataset size (the paper plots 200K; 100K reported as similar)")
+		queries  = flag.Int("queries", workload.QueriesPerQAR, "searches per QAR")
+		seed     = flag.Uint64("seed", 1991, "workload seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart    = flag.Bool("chart", false, "also render ASCII charts")
+		check    = flag.Bool("check", false, "validate index invariants after each build (slow)")
+		ablation = flag.String("ablation", "", "run an ablation: reserve | nodesize | predict | coalesce | leafpromo | packing")
+		kinds    = flag.String("kinds", "", "restrict index types: comma-separated of r,sr,skr,sksr")
+		list     = flag.Bool("list", false, "list runnable experiments and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		verify   = flag.Bool("verify", false, "run graphs 1-6 and check the paper's qualitative claims")
+	)
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	if *ablation != "" {
+		if err := runAblation(*ablation, *tuples, *queries, *seed, *csv, *check, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *verify {
+		results := make(map[int]*harness.Result)
+		for g := 1; g <= 6; g++ {
+			spec, err := harness.GraphSpec(g, *tuples)
+			if err != nil {
+				fatal(err)
+			}
+			spec.QueriesPerQAR = *queries
+			spec.Seed = *seed
+			spec.CheckInvariants = *check
+			res, err := harness.Run(spec, progress)
+			if err != nil {
+				fatal(err)
+			}
+			results[g] = res
+		}
+		report, failures := harness.VerifyClaims(results)
+		fmt.Print(report)
+		if failures > 0 {
+			fmt.Printf("\n%d claim(s) failed\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("\nall claims hold")
+		return
+	}
+
+	var nums []int
+	switch {
+	case *all:
+		for g := 1; g <= 8; g++ {
+			nums = append(nums, g)
+		}
+	case *graphs != "":
+		for _, part := range strings.Split(*graphs, ",") {
+			g, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -graph value %q", part))
+			}
+			nums = append(nums, g)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, g := range nums {
+		spec, err := harness.GraphSpec(g, *tuples)
+		if err != nil {
+			fatal(err)
+		}
+		spec.QueriesPerQAR = *queries
+		spec.Seed = *seed
+		spec.CheckInvariants = *check
+		if k, err := parseKinds(*kinds); err != nil {
+			fatal(err)
+		} else if len(k) > 0 {
+			spec.Kinds = k
+		}
+		res, err := harness.Run(spec, progress)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res, *csv, *chart)
+	}
+}
+
+func emit(res *harness.Result, csv, chart bool) {
+	if csv {
+		fmt.Printf("# %s\n%s\n", res.Spec.Name, res.CSV())
+	} else {
+		fmt.Println(res.Table())
+		fmt.Println(res.BuildSummary())
+	}
+	if chart {
+		fmt.Println(res.Chart())
+	}
+}
+
+func parseKinds(s string) ([]harness.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []harness.Kind
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "r":
+			out = append(out, harness.KindRTree)
+		case "sr":
+			out = append(out, harness.KindSRTree)
+		case "skr":
+			out = append(out, harness.KindSkeletonRTree)
+		case "sksr":
+			out = append(out, harness.KindSkeletonSRTree)
+		default:
+			return nil, fmt.Errorf("unknown kind %q (want r, sr, skr, sksr)", part)
+		}
+	}
+	return out, nil
+}
+
+func printList() {
+	fmt.Println("graphs (run with -graph N):")
+	for g := 1; g <= 8; g++ {
+		spec, _ := harness.GraphSpec(g, 200000)
+		fmt.Printf("  %d  %s\n", g, spec.Name)
+	}
+	fmt.Println("\nablations (run with -ablation NAME):")
+	fmt.Println("  reserve    A1: SR branch reserve 1/2, 2/3 (paper), 3/4 on I3")
+	fmt.Println("  nodesize   A2: node size doubling vs fixed 1 KiB on I3")
+	fmt.Println("  predict    A3: prediction sample 1%, 5%, 10%, and exact histograms on I2")
+	fmt.Println("  coalesce   A4: coalescing on vs off on I2")
+	fmt.Println("  leafpromo  A5: leaf promotion on vs off on I3")
+	fmt.Println("  packing    A6: static packed R-Tree vs dynamic indexes on I1 and I3")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "segbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+func TestParseKinds(t *testing.T) {
+	got, err := parseKinds("r,sr,skr,sksr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []harness.Kind{harness.KindRTree, harness.KindSRTree, harness.KindSkeletonRTree, harness.KindSkeletonSRTree}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if k, err := parseKinds(""); err != nil || k != nil {
+		t.Errorf("empty = %v, %v", k, err)
+	}
+	if _, err := parseKinds("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if k, err := parseKinds(" r , sksr "); err != nil || len(k) != 2 {
+		t.Errorf("whitespace handling: %v, %v", k, err)
+	}
+}
+
+func TestRunAblationUnknown(t *testing.T) {
+	if err := runAblation("nope", 100, 5, 1, false, false, nil); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	// A minimal end-to-end ablation run exercising the variant plumbing.
+	var progress bytes.Buffer
+	if err := runAblation("leafpromo", 800, 3, 1, true, false, &progress); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "SR-Tree") {
+		t.Errorf("no progress emitted: %q", progress.String())
+	}
+}
+
+func TestEmitFormats(t *testing.T) {
+	spec := harness.NewSpec("emit test", workload.I1, 500)
+	spec.QARs = []float64{0.1, 1, 10}
+	spec.QueriesPerQAR = 3
+	spec.Kinds = []harness.Kind{harness.KindRTree}
+	res, err := harness.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// emit writes to stdout; just verify the renderers do not panic and
+	// contain the expected structure.
+	if !strings.Contains(res.Table(), "emit test") {
+		t.Error("table missing title")
+	}
+	if !strings.HasPrefix(res.CSV(), "qar,") {
+		t.Error("csv missing header")
+	}
+}

@@ -1,0 +1,205 @@
+// Command segquery loads interval or rectangle records from a CSV file
+// into a segment index (optionally persisted to disk) and answers range
+// queries from the command line or interactively from stdin.
+//
+// CSV format, one record per line (header optional):
+//
+//	id,xlo,ylo,xhi,yhi          rectangles
+//	id,xlo,xhi,y                intervals (shorthand; equivalent to xlo,y,xhi,y)
+//
+// Examples:
+//
+//	segquery -load data.csv -index idx.db -kind sr
+//	segquery -index idx.db -query "0,0,5000,100000"
+//	echo "1000,0,2000,100000" | segquery -index idx.db -interactive
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"segidx"
+)
+
+func main() {
+	var (
+		load        = flag.String("load", "", "CSV file of records to insert")
+		indexPath   = flag.String("index", "", "index file (empty = in-memory, requires -load and -query together)")
+		kind        = flag.String("kind", "sr", "index type when creating: r | sr")
+		query       = flag.String("query", "", "one query rectangle: xlo,ylo,xhi,yhi")
+		interactive = flag.Bool("interactive", false, "read query rectangles from stdin, one per line")
+		stats       = flag.Bool("stats", false, "print index statistics after the run")
+	)
+	flag.Parse()
+
+	idx, err := openIndex(*indexPath, *kind, *load != "")
+	if err != nil {
+		fatal(err)
+	}
+	defer idx.Close()
+
+	if *load != "" {
+		n, err := loadCSV(idx, *load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d records (%d index nodes, height %d)\n", n, idx.NodeCount(), idx.Height())
+	}
+
+	if *query != "" {
+		if err := runQuery(idx, *query, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := runQuery(idx, line, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "segquery:", err)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		s := idx.Stats()
+		fmt.Fprintf(os.Stderr, "searches=%d nodes/search=%.1f inserts=%d\n",
+			s.Searches, float64(s.SearchNodeAccesses)/float64(maxU(s.Searches, 1)), s.Inserts)
+	}
+}
+
+func openIndex(path, kind string, creating bool) (*segidx.Index, error) {
+	if path == "" {
+		if !creating {
+			return nil, fmt.Errorf("in-memory mode needs -load")
+		}
+		return newByKind(kind)
+	}
+	if _, err := os.Stat(path); err == nil && !creating {
+		return segidx.Open(path)
+	}
+	return newByKind(kind, segidx.WithFile(path))
+}
+
+func newByKind(kind string, opts ...segidx.Option) (*segidx.Index, error) {
+	switch kind {
+	case "r":
+		return segidx.NewRTree(opts...)
+	case "sr":
+		return segidx.NewSRTree(opts...)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want r or sr; skeleton types need a size estimate, use the library API)", kind)
+	}
+}
+
+func loadCSV(idx *segidx.Index, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	n := 0
+	for {
+		fields, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if n == 0 && looksLikeHeader(fields) {
+			continue
+		}
+		id, rect, err := parseRecord(fields)
+		if err != nil {
+			return n, fmt.Errorf("line %d: %w", n+1, err)
+		}
+		if err := idx.Insert(rect, id); err != nil {
+			return n, fmt.Errorf("line %d: %w", n+1, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func looksLikeHeader(fields []string) bool {
+	if len(fields) == 0 {
+		return false
+	}
+	_, err := strconv.ParseFloat(fields[0], 64)
+	return err != nil
+}
+
+func parseRecord(fields []string) (segidx.RecordID, segidx.Rect, error) {
+	nums := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return 0, segidx.Rect{}, fmt.Errorf("bad number %q", f)
+		}
+		nums[i] = v
+	}
+	switch len(nums) {
+	case 4: // id, xlo, xhi, y  (interval shorthand)
+		r, err := segidx.NewRect([]float64{nums[1], nums[3]}, []float64{nums[2], nums[3]})
+		return segidx.RecordID(nums[0]), r, err
+	case 5: // id, xlo, ylo, xhi, yhi
+		r, err := segidx.NewRect([]float64{nums[1], nums[2]}, []float64{nums[3], nums[4]})
+		return segidx.RecordID(nums[0]), r, err
+	default:
+		return 0, segidx.Rect{}, fmt.Errorf("want 4 or 5 fields, got %d", len(nums))
+	}
+}
+
+func runQuery(idx *segidx.Index, spec string, w io.Writer) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return fmt.Errorf("query %q: want xlo,ylo,xhi,yhi", spec)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("query %q: bad number %q", spec, p)
+		}
+		vals[i] = v
+	}
+	q, err := segidx.NewRect([]float64{vals[0], vals[1]}, []float64{vals[2], vals[3]})
+	if err != nil {
+		return err
+	}
+	results, err := idx.Search(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "query %s: %d records\n", spec, len(results))
+	for _, e := range results {
+		fmt.Fprintf(w, "  %d %v\n", e.ID, e.Rect)
+	}
+	return nil
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "segquery:", err)
+	os.Exit(1)
+}

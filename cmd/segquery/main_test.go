@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segidx"
+)
+
+func TestParseRecord(t *testing.T) {
+	// Interval shorthand: id, xlo, xhi, y.
+	id, r, err := parseRecord([]string{"7", "10", "20", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || !r.Equal(segidx.Interval(10, 20, 5)) {
+		t.Fatalf("interval: id=%d rect=%v", id, r)
+	}
+	// Rectangle: id, xlo, ylo, xhi, yhi.
+	id, r, err = parseRecord([]string{"8", "1", "2", "3", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 8 || !r.Equal(segidx.Box(1, 2, 3, 4)) {
+		t.Fatalf("rect: id=%d rect=%v", id, r)
+	}
+	// Errors.
+	if _, _, err := parseRecord([]string{"1", "2"}); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, _, err := parseRecord([]string{"1", "x", "3", "4"}); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, _, err := parseRecord([]string{"1", "20", "10", "5"}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestLooksLikeHeader(t *testing.T) {
+	if !looksLikeHeader([]string{"id", "xlo", "xhi", "y"}) {
+		t.Error("header not detected")
+	}
+	if looksLikeHeader([]string{"1", "2", "3", "4"}) {
+		t.Error("data row detected as header")
+	}
+	if looksLikeHeader(nil) {
+		t.Error("empty row detected as header")
+	}
+}
+
+func TestLoadCSVAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "data.csv")
+	content := "id,xlo,xhi,y\n1,0,10,5\n2,5,15,5\n3,100,110,50\n4,1,2,3,4\n"
+	if err := os.WriteFile(csvPath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := segidx.NewSRTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	n, err := loadCSV(idx, csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("loaded %d records, want 4", n)
+	}
+
+	var out strings.Builder
+	if err := runQuery(idx, "0,0,12,10", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 records") {
+		t.Fatalf("query output: %q", out.String())
+	}
+	if err := runQuery(idx, "bad", &out); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := runQuery(idx, "1,2,3", &out); err == nil {
+		t.Error("three-field query accepted")
+	}
+}
+
+func TestOpenIndexModes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.db")
+
+	// Creating mode.
+	idx, err := openIndex(path, "r", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(segidx.Point(1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen mode.
+	idx2, err := openIndex(path, "r", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx2.Close()
+	if idx2.Len() != 1 {
+		t.Fatalf("reopened Len = %d", idx2.Len())
+	}
+
+	// In-memory without load is an error.
+	if _, err := openIndex("", "r", false); err == nil {
+		t.Error("in-memory without load accepted")
+	}
+	// Unknown kind.
+	if _, err := openIndex("", "zzz", true); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Command segstat builds one index type over a chosen workload and prints
+// a structural quality report: per-level node counts, coverage area,
+// sibling overlap, mean aspect ratios, occupancy, and spanning-record
+// placement — the quantities the paper's Section 5 discussion turns on.
+//
+// Examples:
+//
+//	segstat -kind sksr -dataset I3 -tuples 200000
+//	segstat -kind r -dataset R2 -tuples 50000 -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"segidx"
+	"segidx/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "sksr", "index type: r | sr | skr | sksr")
+		dataset = flag.String("dataset", "I3", "workload: I1 I2 I3 I4 R1 R2 RE1 RE2")
+		tuples  = flag.Int("tuples", 50000, "dataset size")
+		seed    = flag.Uint64("seed", 1991, "workload seed")
+		leaf    = flag.Int("leaf", 1024, "leaf page bytes")
+		growth  = flag.Int("growth", 2, "node size growth per level")
+		reserve = flag.Float64("reserve", 2.0/3.0, "branch reserve fraction (SR variants)")
+		check   = flag.Bool("check", false, "validate structural invariants")
+	)
+	flag.Parse()
+
+	ds, err := workload.ParseDataset(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []segidx.Option{
+		segidx.WithLeafNodeBytes(*leaf),
+		segidx.WithNodeGrowth(*growth),
+		segidx.WithBranchReserve(*reserve),
+	}
+	est := segidx.SkeletonEstimate{
+		Tuples:          *tuples,
+		Domain:          segidx.Box(workload.DomainLo, workload.DomainLo, workload.DomainHi, workload.DomainHi),
+		PredictFraction: 0.05,
+	}
+	var idx *segidx.Index
+	switch *kind {
+	case "r":
+		idx, err = segidx.NewRTree(opts...)
+	case "sr":
+		idx, err = segidx.NewSRTree(opts...)
+	case "skr":
+		idx, err = segidx.NewSkeletonRTree(est, opts...)
+	case "sksr":
+		idx, err = segidx.NewSkeletonSRTree(est, opts...)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer idx.Close()
+
+	for i, r := range ds.Generate(*tuples, *seed) {
+		if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+			fatal(fmt.Errorf("insert %d: %w", i, err))
+		}
+	}
+	if *check {
+		if err := idx.CheckInvariants(); err != nil {
+			fatal(fmt.Errorf("invariants: %w", err))
+		}
+		fmt.Println("invariants: ok")
+	}
+	rep, err := idx.Analyze()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s over %s (%s), %d tuples\n\n", idx.Kind(), ds, ds.Describe(), *tuples)
+	fmt.Print(rep.String())
+
+	st := idx.Stats()
+	fmt.Printf("\nactivity: %d splits (%d leaf), %d promotions, %d demotions, %d relinks, %d cuts, %d coalesces, %d reinserts\n",
+		st.LeafSplits+st.NonLeafSplits, st.LeafSplits, st.Promotions, st.Demotions, st.Relinks, st.Cuts, st.Coalesces, st.Reinserts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "segstat:", err)
+	os.Exit(1)
+}

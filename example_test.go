@@ -1,0 +1,108 @@
+package segidx_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"segidx"
+)
+
+// Example indexes a small salary history and runs the three query styles:
+// range intersection, stabbing, and containment.
+func Example() {
+	idx, err := segidx.NewSRTree()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Interval(lo, hi, at): an interval in dimension 0 at a point value
+	// in dimension 1 — the paper's historical-data shape.
+	idx.Insert(segidx.Interval(1980, 1985, 30000), 1)
+	idx.Insert(segidx.Interval(1985, 1990, 42000), 2)
+	idx.Insert(segidx.Interval(1975, 1999, 28000), 3) // one long interval
+
+	overlapping, _ := idx.Search(segidx.Box(1984, 0, 1986, 50000))
+	ids := make([]int, 0, len(overlapping))
+	for _, e := range overlapping {
+		ids = append(ids, int(e.ID))
+	}
+	sort.Ints(ids)
+	fmt.Println("overlapping 1984-1986:", ids)
+
+	stabbed, _ := idx.Stab(1987, 42000)
+	fmt.Println("active at (1987, 42k):", len(stabbed))
+	// Output:
+	// overlapping 1984-1986: [1 2 3]
+	// active at (1987, 42k): 1
+}
+
+// ExampleNewSkeletonSRTree shows distribution prediction: the index
+// buffers the first 5% of the expected input, computes per-dimension
+// histograms, and pre-partitions the domain before indexing the rest.
+func ExampleNewSkeletonSRTree() {
+	idx, err := segidx.NewSkeletonSRTree(segidx.SkeletonEstimate{
+		Tuples:          10_000,
+		Domain:          segidx.Box(0, 0, 100_000, 100_000),
+		PredictFraction: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	for i := 0; i < 10_000; i++ {
+		x := float64(i*37%100_000) + 1
+		y := float64(i*91%100_000) + 1
+		if err := idx.Insert(segidx.Interval(x-1, x+1, y), segidx.RecordID(i+1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, _ := idx.Count(segidx.Box(0, 0, 100_000, 100_000))
+	fmt.Println("indexed:", n)
+	// Output:
+	// indexed: 10000
+}
+
+// ExampleBulkLoadRTree packs a complete dataset bottom-up (the static
+// construction the paper contrasts skeleton indexes with).
+func ExampleBulkLoadRTree() {
+	recs := make([]segidx.BulkRecord, 1000)
+	for i := range recs {
+		x, y := float64(i%100)*10, float64(i/100)*100
+		recs[i] = segidx.BulkRecord{
+			Rect: segidx.Box(x, y, x+5, y+5),
+			ID:   segidx.RecordID(i + 1),
+		}
+	}
+	idx, err := segidx.BulkLoadRTree(recs, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+	n, _ := idx.Count(segidx.Box(0, 0, 500, 500))
+	fmt.Println("in window:", n)
+	// Output:
+	// in window: 306
+}
+
+// ExampleIndex_SearchContaining finds the intervals that fully cover a
+// query range.
+func ExampleIndex_SearchContaining() {
+	idx, err := segidx.NewSRTree(segidx.WithDims(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+	short, _ := segidx.NewRect([]float64{40}, []float64{60})
+	long, _ := segidx.NewRect([]float64{0}, []float64{100})
+	idx.Insert(short, 1)
+	idx.Insert(long, 2)
+
+	q, _ := segidx.NewRect([]float64{30}, []float64{70})
+	covering, _ := idx.SearchContaining(q)
+	fmt.Println("covering [30,70]:", len(covering), "record(s), id", covering[0].ID)
+	// Output:
+	// covering [30,70]: 1 record(s), id 2
+}

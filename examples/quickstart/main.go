@@ -1,0 +1,79 @@
+// Quickstart: build an SR-Tree, insert interval and point records, run
+// range and stabbing queries, and inspect the structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segidx"
+)
+
+func main() {
+	// An SR-Tree indexes K-dimensional rectangles; intervals and points
+	// are degenerate rectangles. Dimension 0 is "time", dimension 1 is
+	// "value" in this example.
+	idx, err := segidx.NewSRTree()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Interval(lo, hi, at) is an interval in dimension 0 at a point in
+	// dimension 1 — the paper's "time range data".
+	records := []struct {
+		id   segidx.RecordID
+		rect segidx.Rect
+		desc string
+	}{
+		{1, segidx.Interval(1980, 1985, 30000), "salary 30k, 1980-1985"},
+		{2, segidx.Interval(1985, 1990, 42000), "salary 42k, 1985-1990"},
+		{3, segidx.Interval(1990, 1999, 55000), "salary 55k, 1990-1999"},
+		{4, segidx.Interval(1975, 1999, 28000), "salary 28k, 1975-1999 (one long interval)"},
+		{5, segidx.Point(1988, 60000), "one-off bonus event in 1988"},
+		{6, segidx.Box(1982, 35000, 1992, 45000), "a genuine 2-D box"},
+	}
+	for _, r := range records {
+		if err := idx.Insert(r.rect, r.id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d records (height %d, %d nodes)\n\n", idx.Len(), idx.Height(), idx.NodeCount())
+
+	// Range query: everything overlapping 1986-1989 with value 25k-65k.
+	query := segidx.Box(1986, 25000, 1989, 65000)
+	results, err := idx.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("records overlapping %v:\n", query)
+	for _, e := range results {
+		fmt.Printf("  id=%d rect=%v\n", e.ID, e.Rect)
+	}
+
+	// Stabbing query: which intervals contain the instant (1983, 30000)?
+	stab := segidx.Point(1983, 30000)
+	n, err := idx.Count(stab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d record(s) contain the point %v\n", n, stab)
+
+	// Delete one record and show it is gone.
+	if _, err := idx.Delete(2, segidx.Interval(1985, 1990, 42000)); err != nil {
+		log.Fatal(err)
+	}
+	n, err = idx.Count(segidx.Box(1980, 0, 1999, 100000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter deleting record 2: %d records remain\n", n)
+
+	// The structural report shows where records live (spanning records
+	// appear once long intervals migrate to non-leaf nodes).
+	rep, err := idx.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstructure:\n%s", rep.String())
+}

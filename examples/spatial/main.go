@@ -1,0 +1,136 @@
+// Spatial: rectangle data with a skewed size distribution — a synthetic
+// city map whose features range from small buildings to a few very large
+// parks and districts (the paper's R2 shape). A Skeleton SR-Tree stores
+// the large features as spanning records in non-leaf nodes, and the index
+// file is persisted and reopened.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"segidx"
+	"segidx/internal/workload"
+)
+
+const (
+	cityLo   = 0.0
+	cityHi   = 50000.0
+	features = 30000
+)
+
+type feature struct {
+	id   segidx.RecordID
+	kind string
+	rect segidx.Rect
+}
+
+func generateCity(rng *workload.RNG) []feature {
+	var out []feature
+	id := segidx.RecordID(1)
+	add := func(kind string, w, h float64) {
+		cx := rng.Float64() * cityHi
+		cy := rng.Float64() * cityHi
+		out = append(out, feature{id, kind, segidx.Box(
+			clampCity(cx-w/2), clampCity(cy-h/2), clampCity(cx+w/2), clampCity(cy+h/2))})
+		id++
+	}
+	for len(out) < features {
+		switch r := rng.Float64(); {
+		case r < 0.90: // buildings: small
+			add("building", 10+rng.Float64()*40, 10+rng.Float64()*40)
+		case r < 0.97: // blocks: medium
+			add("block", 100+rng.Float64()*300, 100+rng.Float64()*300)
+		case r < 0.995: // parks: large
+			add("park", rng.Exp(1500, cityHi), rng.Exp(1500, cityHi))
+		default: // districts: huge
+			add("district", 5000+rng.Exp(4000, cityHi/2), 5000+rng.Exp(4000, cityHi/2))
+		}
+	}
+	return out
+}
+
+func clampCity(v float64) float64 {
+	if v < cityLo {
+		return cityLo
+	}
+	if v > cityHi {
+		return cityHi
+	}
+	return v
+}
+
+func main() {
+	rng := workload.NewRNG(7)
+	city := generateCity(rng)
+	byID := make(map[segidx.RecordID]feature, len(city))
+	for _, f := range city {
+		byID[f.id] = f
+	}
+
+	dir, err := os.MkdirTemp("", "segidx-spatial")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "city.db")
+
+	// Build a persistent SR-Tree. (Skeleton types also persist; plain
+	// types can be reopened with segidx.Open, which restores the
+	// structural config from the file.)
+	idx, err := segidx.NewSRTree(segidx.WithFile(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range city {
+		if err := idx.Insert(f.rect, f.id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := idx.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d features: height %d, %d nodes, %d spanning records\n",
+		idx.Len(), rep.Height, rep.Nodes, rep.SpanningRecords)
+	if err := idx.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen from disk and query.
+	idx, err = segidx.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+	fmt.Printf("reopened %s from %s (%d records)\n\n", idx.Kind(), filepath.Base(path), idx.Len())
+
+	// Window query: what is in this map viewport?
+	viewport := segidx.Box(20000, 20000, 22000, 21500)
+	counts := map[string]int{}
+	err = idx.SearchFunc(viewport, func(e segidx.Entry) bool {
+		counts[byID[e.ID].kind]++
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("viewport %v contains:\n", viewport)
+	for _, kind := range []string{"building", "block", "park", "district"} {
+		fmt.Printf("  %-9s %d\n", kind, counts[kind])
+	}
+
+	// Point query: every feature covering one location.
+	here := segidx.Point(25000, 25000)
+	res, err := idx.Search(here)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfeatures covering %v:\n", here)
+	for _, e := range res {
+		f := byID[e.ID]
+		fmt.Printf("  %s %d (%.0f x %.0f)\n", f.kind, f.id, f.rect.Length(0), f.rect.Length(1))
+	}
+}

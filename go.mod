@@ -1,0 +1,3 @@
+module segidx
+
+go 1.22

@@ -1,0 +1,245 @@
+// Package buffer implements a pinning LRU buffer pool over decoded segment
+// index nodes.
+//
+// The tree layer reads and writes nodes exclusively through a Pool. Nodes
+// are decoded once on miss and stay resident until evicted; eviction
+// considers only unpinned frames, serializing dirty ones back to the store.
+// This mirrors a conventional database buffer manager while letting the
+// index algorithms work on structured nodes rather than raw bytes.
+//
+// The paper's search-cost metric (average index nodes accessed per search)
+// is independent of buffer residency; the pool's hit/miss statistics are
+// additional observability on top of that logical metric.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"segidx/internal/node"
+	"segidx/internal/page"
+	"segidx/internal/store"
+)
+
+// ErrPinned is returned when an operation requires an unpinned frame.
+var ErrPinned = errors.New("buffer: page is pinned")
+
+// Stats counts pool activity since creation.
+type Stats struct {
+	Gets      uint64 // Get calls
+	Hits      uint64 // Get calls satisfied from memory
+	Misses    uint64 // Get calls that read from the store
+	Evictions uint64 // frames evicted to honor the budget
+	Writes    uint64 // dirty pages written back
+}
+
+type frame struct {
+	n     *node.Node
+	bytes int // on-page size of the node
+	pins  int
+	dirty bool
+	elem  *list.Element // position in lru; nil while pinned
+}
+
+// Pool is a pinning LRU buffer pool. The zero value is not usable; use New.
+type Pool struct {
+	mu       sync.Mutex
+	store    store.Store
+	codec    node.Codec
+	budget   int // max resident bytes; 0 means unlimited
+	resident map[page.ID]*frame
+	lru      *list.List // unpinned frames, front = most recently used
+	bytes    int        // total resident bytes
+	stats    Stats
+}
+
+// New creates a pool over the given store. budgetBytes caps resident node
+// bytes (0 = unlimited). The pool must outlive every node pointer handed
+// out while pinned.
+func New(st store.Store, codec node.Codec, budgetBytes int) *Pool {
+	return &Pool{
+		store:    st,
+		codec:    codec,
+		budget:   budgetBytes,
+		resident: make(map[page.ID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// NewNode allocates a fresh page of pageBytes in the store and returns the
+// corresponding empty node, pinned and marked dirty.
+func (p *Pool) NewNode(level, pageBytes int) (*node.Node, error) {
+	id, err := p.store.Allocate(pageBytes)
+	if err != nil {
+		return nil, err
+	}
+	n := &node.Node{ID: id, Level: level}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resident[id] = &frame{n: n, bytes: pageBytes, pins: 1, dirty: true}
+	p.bytes += pageBytes
+	p.evictLocked()
+	return n, nil
+}
+
+// Get returns the node for id, pinned. Every Get must be paired with an
+// Unpin.
+func (p *Pool) Get(id page.ID) (*node.Node, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Gets++
+	if f, ok := p.resident[id]; ok {
+		p.stats.Hits++
+		p.pinLocked(f)
+		return f.n, nil
+	}
+	p.stats.Misses++
+	// Read outside would allow concurrent duplicate decodes; for the
+	// single-writer workloads of a segment index the simplicity of holding
+	// the lock across the read is preferred.
+	buf, err := p.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.codec.Unmarshal(buf, id)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: decode %v: %w", id, err)
+	}
+	f := &frame{n: n, bytes: len(buf), pins: 1}
+	p.resident[id] = f
+	p.bytes += len(buf)
+	p.evictLocked()
+	return n, nil
+}
+
+// Unpin releases one pin. dirty marks the node as modified since fetch; it
+// will be written back before eviction or on Flush.
+func (p *Pool) Unpin(id page.ID, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.resident[id]
+	if !ok {
+		return fmt.Errorf("buffer: unpin of non-resident %v", id)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: unpin of unpinned %v", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins == 0 {
+		f.elem = p.lru.PushFront(f.n.ID)
+		p.evictLocked()
+	}
+	return nil
+}
+
+func (p *Pool) pinLocked(f *frame) {
+	if f.pins == 0 && f.elem != nil {
+		p.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.pins++
+}
+
+// evictLocked evicts least-recently-used unpinned frames until the budget
+// is honored. Frames that fail to serialize stay resident (the error will
+// resurface on Flush).
+func (p *Pool) evictLocked() {
+	if p.budget <= 0 {
+		return
+	}
+	for p.bytes > p.budget {
+		back := p.lru.Back()
+		if back == nil {
+			return // everything pinned; cannot evict further
+		}
+		id := back.Value.(page.ID)
+		f := p.resident[id]
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				// Keep the frame; skip eviction this round to avoid
+				// data loss. Promote it so we do not spin on it.
+				p.lru.MoveToFront(back)
+				return
+			}
+		}
+		p.lru.Remove(back)
+		delete(p.resident, id)
+		p.bytes -= f.bytes
+		p.stats.Evictions++
+	}
+}
+
+func (p *Pool) writeBackLocked(f *frame) error {
+	buf, err := p.codec.Marshal(f.n, f.bytes)
+	if err != nil {
+		return err
+	}
+	if err := p.store.Write(f.n.ID, buf); err != nil {
+		return err
+	}
+	p.stats.Writes++
+	f.dirty = false
+	return nil
+}
+
+// Flush writes every dirty resident node back to the store.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.resident {
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Free drops the node from the pool and releases its page in the store.
+// The node must be unpinned.
+func (p *Pool) Free(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.resident[id]; ok {
+		if f.pins > 0 {
+			return ErrPinned
+		}
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+		}
+		delete(p.resident, id)
+		p.bytes -= f.bytes
+	}
+	return p.store.Free(id)
+}
+
+// PageBytes reports the on-page size of a resident or stored node.
+func (p *Pool) PageBytes(id page.ID) (int, error) {
+	p.mu.Lock()
+	if f, ok := p.resident[id]; ok {
+		p.mu.Unlock()
+		return f.bytes, nil
+	}
+	p.mu.Unlock()
+	return p.store.PageSize(id)
+}
+
+// Resident reports the number of nodes currently in memory.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.resident)
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+	"segidx/internal/store"
+)
+
+func bulkRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{Rect: randBox(rng), ID: node.RecordID(i + 1)}
+	}
+	return out
+}
+
+func TestBulkLoadBasics(t *testing.T) {
+	recs := bulkRecords(5000, 101)
+	tr, err := BulkLoad(smallConfig(false), store.NewMemStore(), recs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full occupancy: node count close to the minimum possible.
+	rep, err := tr.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafOcc := rep.Levels[0].Occupancy
+	if leafOcc < 0.95 {
+		t.Errorf("packed leaf occupancy %g, want ~1.0", leafOcc)
+	}
+	// Search correctness vs brute force.
+	m := newModel()
+	for _, r := range recs {
+		m.insert(r.Rect, r.ID)
+	}
+	rng := rand.New(rand.NewSource(102))
+	for q := 0; q < 200; q++ {
+		query := randQuery(rng)
+		if !idsEqual(searchIDs(t, tr, query), m.search(query)) {
+			t.Fatalf("packed tree diverged on %v", query)
+		}
+	}
+}
+
+func TestBulkLoadEdgeCases(t *testing.T) {
+	// Empty input yields a usable empty tree.
+	tr, err := BulkLoad(smallConfig(true), store.NewMemStore(), nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty bulk load: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Insert(geom.Point(1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single record.
+	tr, err = BulkLoad(smallConfig(false), store.NewMemStore(), bulkRecords(1, 5), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Fatalf("single: len=%d height=%d", tr.Len(), tr.Height())
+	}
+
+	// Fewer records than one leaf holds.
+	tr, err = BulkLoad(smallConfig(false), store.NewMemStore(), bulkRecords(3, 6), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("3 records built height %d", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid fill rejected.
+	if _, err := BulkLoad(smallConfig(false), store.NewMemStore(), nil, 0); err == nil {
+		t.Error("fill 0 accepted")
+	}
+	if _, err := BulkLoad(smallConfig(false), store.NewMemStore(), nil, 1.5); err == nil {
+		t.Error("fill 1.5 accepted")
+	}
+	// Invalid record rejected.
+	bad := []Record{{Rect: geom.Rect{Min: []float64{1}, Max: []float64{0}}, ID: 1}}
+	if _, err := BulkLoad(smallConfig(false), store.NewMemStore(), bad, 1.0); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	recs := bulkRecords(2000, 103)
+	tr, err := BulkLoad(smallConfig(true), store.NewMemStore(), recs, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newModel()
+	for _, r := range recs {
+		m.insert(r.Rect, r.ID)
+	}
+	rng := rand.New(rand.NewSource(104))
+	// Mixed inserts and deletes on the packed tree.
+	next := node.RecordID(100000)
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(2) == 0 {
+			r := randSegment(rng)
+			if err := tr.Insert(r, next); err != nil {
+				t.Fatal(err)
+			}
+			m.insert(r, next)
+			next++
+		} else {
+			id := node.RecordID(rng.Intn(2000) + 1)
+			if r, ok := m.rects[id]; ok {
+				if _, err := tr.Delete(id, r); err != nil {
+					t.Fatal(err)
+				}
+				m.delete(id)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		query := randQuery(rng)
+		if !idsEqual(searchIDs(t, tr, query), m.search(query)) {
+			t.Fatal("mutated packed tree diverged")
+		}
+	}
+}
+
+func TestBulkLoadBeatsDynamicOnSearch(t *testing.T) {
+	// Packing is the static gold standard the paper compares skeletons to
+	// for uniformly sized data: it should beat a dynamically grown R-Tree
+	// on search cost. (On skewed-size data packing degrades — the very
+	// problem segment indexes address — so this fixture uses small boxes.)
+	rng0 := rand.New(rand.NewSource(105))
+	recs := make([]Record, 5000)
+	for i := range recs {
+		x, y := rng0.Float64()*990, rng0.Float64()*990
+		recs[i] = Record{
+			Rect: geom.Rect2(x, y, x+rng0.Float64()*10, y+rng0.Float64()*10),
+			ID:   node.RecordID(i + 1),
+		}
+	}
+	packed, err := BulkLoad(smallConfig(false), store.NewMemStore(), recs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewInMemory(smallConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := dyn.Insert(r.Rect, r.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := func(tr *Tree) float64 {
+		rng := rand.New(rand.NewSource(106))
+		before := tr.Stats().SearchNodeAccesses
+		for q := 0; q < 100; q++ {
+			if _, err := tr.Search(randQuery(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(tr.Stats().SearchNodeAccesses - before)
+	}
+	packedCost := cost(packed)
+	dynCost := cost(dyn)
+	// Packing's guaranteed wins are occupancy and node count; search cost
+	// should at least be in the same league as the dynamic build.
+	if packed.NodeCount() >= dyn.NodeCount() {
+		t.Errorf("packed node count %d not below dynamic %d", packed.NodeCount(), dyn.NodeCount())
+	}
+	if packedCost > 1.5*dynCost {
+		t.Errorf("packed search cost %g far above dynamic %g", packedCost, dynCost)
+	}
+}
+
+func TestSTROrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, n := range []int{1, 2, 7, 100, 1333} {
+		rects := make([]geom.Rect, n)
+		for i := range rects {
+			rects[i] = randBox(rng)
+		}
+		order := strOrder(rects, 2, 10)
+		if len(order) != n {
+			t.Fatalf("n=%d: order len %d", n, len(order))
+		}
+		seen := make([]bool, n)
+		for _, idx := range order {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("n=%d: not a permutation", n)
+			}
+			seen[idx] = true
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// TestConcurrentSearchesDuringInserts exercises the documented concurrency
+// contract: one writer with concurrent readers. Run with -race.
+func TestConcurrentSearchesDuringInserts(t *testing.T) {
+	tr, err := NewInMemory(smallConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers  = 1
+		readers  = 4
+		inserts  = 2000
+		searches = 500
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(201))
+		for i := 0; i < inserts; i++ {
+			if err := tr.Insert(randSegment(rng), node.RecordID(i+1)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + r)))
+			for i := 0; i < searches; i++ {
+				q := randQuery(rng)
+				// Results must be internally consistent: entries
+				// intersect the query.
+				err := tr.SearchFunc(q, func(e Entry) bool {
+					if !e.Rect.Intersects(q) {
+						errs <- errNonIntersecting
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				_ = tr.Stats()
+				_ = tr.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != inserts {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+var errNonIntersecting = geom.ErrDimMismatch // reused sentinel; value irrelevant
+
+// TestConcurrentSearchesOnly verifies many readers proceed in parallel on
+// a static tree.
+func TestConcurrentSearchesOnly(t *testing.T) {
+	tr, err := NewInMemory(smallConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(202))
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(randBox(rng), node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := newModel()
+	// Rebuild the model from the same stream.
+	rng = rand.New(rand.NewSource(202))
+	for i := 0; i < 3000; i++ {
+		m.insert(randBox(rng), node.RecordID(i+1))
+	}
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(int64(400 + g)))
+			for i := 0; i < 100; i++ {
+				q := randQuery(qrng)
+				entries, err := tr.Search(q)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if len(entries) != len(m.search(q)) {
+					fail <- "result count diverged under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

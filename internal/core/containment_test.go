@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// containmentModel extends the brute-force model with the two containment
+// query variants.
+func modelWithin(m *model, q geom.Rect) []node.RecordID {
+	var out []node.RecordID
+	for id, r := range m.rects {
+		if q.Contains(r) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func modelContaining(m *model, q geom.Rect) []node.RecordID {
+	var out []node.RecordID
+	for id, r := range m.rects {
+		if r.Contains(q) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func entryIDs(entries []Entry) []node.RecordID {
+	out := make([]node.RecordID, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.ID)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func TestContainmentQueriesMatchModel(t *testing.T) {
+	for _, spanning := range []bool{false, true} {
+		t.Run(fmt.Sprintf("spanning=%v", spanning), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(301))
+			tr, err := NewInMemory(smallConfig(spanning))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newModel()
+			for i := 0; i < 2500; i++ {
+				var r geom.Rect
+				if i%2 == 0 {
+					r = randSegment(rng)
+				} else {
+					r = randBox(rng)
+				}
+				id := node.RecordID(i + 1)
+				if err := tr.Insert(r, id); err != nil {
+					t.Fatal(err)
+				}
+				m.insert(r, id)
+			}
+			for q := 0; q < 200; q++ {
+				query := randQuery(rng)
+				within, err := tr.SearchWithin(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !idsEqual(entryIDs(within), modelWithin(m, query)) {
+					t.Fatalf("SearchWithin diverged on %v", query)
+				}
+				containing, err := tr.SearchContaining(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !idsEqual(entryIDs(containing), modelContaining(m, query)) {
+					t.Fatalf("SearchContaining diverged on %v:\n got %v\nwant %v",
+						query, entryIDs(containing), modelContaining(m, query))
+				}
+			}
+			// Point stabbing via SearchContaining.
+			for q := 0; q < 100; q++ {
+				p := geom.Point(rng.Float64()*1000, rng.Float64()*1000)
+				containing, err := tr.SearchContaining(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !idsEqual(entryIDs(containing), modelContaining(m, p)) {
+					t.Fatalf("point stab diverged on %v", p)
+				}
+			}
+		})
+	}
+}
+
+// TestContainmentWithCutRecords targets the subtle case: records cut into
+// spanning + remnant portions must be judged by their reassembled extent.
+func TestContainmentWithCutRecords(t *testing.T) {
+	tr := buildClusteredTree(t, true)
+	// A segment cut below the root (see TestCuttingFigure3).
+	seg := findSubRootCutSegment(t, tr)
+	if err := tr.Insert(seg, 999); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Cuts == 0 {
+		t.Fatal("fixture did not cut")
+	}
+	y := seg.Min[1]
+	// A query covering only part of the segment: the record does NOT lie
+	// within the query even though one portion might.
+	partial := geom.Rect2(seg.Center(0), y-1, seg.Max[0]+1, y+1)
+	within, err := tr.SearchWithin(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range within {
+		if e.ID == 999 {
+			t.Fatal("cut record reported as within a query smaller than itself")
+		}
+	}
+	// A query covering the whole segment reports it once.
+	within, err = tr.SearchWithin(geom.Rect2(seg.Min[0]-1, y-1, seg.Max[0]+1, y+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, e := range within {
+		if e.ID == 999 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("covering query reported the cut record %d times", count)
+	}
+	// A sub-interval of the segment is contained by it, across the cut
+	// boundary.
+	sub := geom.Rect2(seg.Min[0]+10, y, seg.Max[0]-10, y)
+	containing, err := tr.SearchContaining(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range containing {
+		if e.ID == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cut record not reported as containing a sub-interval spanning the cut")
+	}
+}

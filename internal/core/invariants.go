@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"segidx/internal/geom"
+	"segidx/internal/page"
+)
+
+// CheckInvariants validates the whole structure and returns the first
+// violation found, or nil. Checked properties:
+//
+//   - every node decodes and fits its page (entry counts within capacity);
+//   - levels decrease by exactly one along every branch;
+//   - every branch rectangle contains the child's cover (content MBR plus
+//     skeleton region);
+//   - leaf records appear only on leaves; spanning records only on
+//     non-leaf nodes with Spanning enabled;
+//   - every spanning record is linked to an existing branch of its node,
+//     spans that branch's region in a dimension of positive extent, and is
+//     contained in the node's own cover;
+//   - skeleton sibling regions do not overlap in their interiors;
+//   - no page is reachable twice (the structure is a tree);
+//   - the recorded height matches the root level.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[page.ID]bool)
+	return t.checkNode(t.root, nil, seen, true)
+}
+
+func (t *Tree) checkNode(id page.ID, parentRect *geom.Rect, seen map[page.ID]bool, isRoot bool) error {
+	if seen[id] {
+		return fmt.Errorf("core: node %v reachable twice", id)
+	}
+	seen[id] = true
+	n, err := t.fetch(id, nil)
+	if err != nil {
+		return err
+	}
+	defer t.done(id, false)
+	dims := t.cfg.Dims
+
+	if isRoot && n.Level != t.height-1 {
+		return fmt.Errorf("core: root %v at level %d but height is %d", id, n.Level, t.height)
+	}
+
+	// Capacity.
+	if n.IsLeaf() {
+		if len(n.Records) > t.leafCap() {
+			return fmt.Errorf("core: leaf %v holds %d records, capacity %d", id, len(n.Records), t.leafCap())
+		}
+		if len(n.Branches) != 0 {
+			return fmt.Errorf("core: leaf %v has branches", id)
+		}
+	} else {
+		if len(n.Branches) > t.branchCap(n.Level) {
+			return fmt.Errorf("core: node %v holds %d branches, capacity %d", id, len(n.Branches), t.branchCap(n.Level))
+		}
+		if !t.fitsBytes(n) {
+			return fmt.Errorf("core: node %v entries use %d bytes, page is %d",
+				id, t.codec.UsedBytes(n), t.pageBytes(n.Level))
+		}
+		if len(n.Branches) == 0 {
+			return fmt.Errorf("core: non-leaf %v has no branches", id)
+		}
+		if !t.cfg.Spanning && len(n.Records) != 0 {
+			return fmt.Errorf("core: node %v has spanning records but Spanning is disabled", id)
+		}
+	}
+
+	// Parent containment.
+	cover := n.Cover(dims)
+	if parentRect != nil && !cover.IsEmptyMarker() && !parentRect.Contains(cover) {
+		return fmt.Errorf("core: node %v cover %v exceeds parent branch rect %v", id, cover, *parentRect)
+	}
+
+	// Record validity.
+	for i, rec := range n.Records {
+		if !rec.Rect.Valid() {
+			return fmt.Errorf("core: node %v record %d invalid rect", id, i)
+		}
+		if n.IsLeaf() {
+			if rec.Span != page.Nil {
+				return fmt.Errorf("core: leaf %v record %d carries a span link", id, i)
+			}
+			continue
+		}
+		bi := n.BranchIndex(rec.Span)
+		if bi < 0 {
+			return fmt.Errorf("core: node %v spanning record %d links to absent branch %v", id, i, rec.Span)
+		}
+		if !spansQualify(rec.Rect, n.Branches[bi].Rect) {
+			return fmt.Errorf("core: node %v spanning record %d (%v) does not span branch %v",
+				id, i, rec.Rect, n.Branches[bi].Rect)
+		}
+		if !cover.Contains(rec.Rect) {
+			return fmt.Errorf("core: node %v spanning record %d escapes the node cover", id, i)
+		}
+	}
+
+	// Skeleton regions must be well-formed; sibling overlap is checked
+	// during recursion below.
+	if n.HasRegion() && !n.Region.Valid() {
+		return fmt.Errorf("core: node %v has invalid region %v", id, n.Region)
+	}
+
+	// Recurse.
+	for i := range n.Branches {
+		b := n.Branches[i]
+		if !b.Rect.Valid() {
+			return fmt.Errorf("core: node %v branch %d invalid rect", id, i)
+		}
+		child, err := t.fetch(b.Child, nil)
+		if err != nil {
+			return fmt.Errorf("core: node %v branch %d: %w", id, i, err)
+		}
+		childLevel := child.Level
+		childRegion := geom.Rect{}
+		if child.HasRegion() {
+			childRegion = child.Region.Clone()
+		}
+		t.done(b.Child, false)
+		if childLevel != n.Level-1 {
+			return fmt.Errorf("core: node %v (level %d) points to child %v at level %d", id, n.Level, b.Child, childLevel)
+		}
+		if childRegion.Dims() > 0 {
+			for j := i + 1; j < len(n.Branches); j++ {
+				sib, err := t.fetch(n.Branches[j].Child, nil)
+				if err != nil {
+					return err
+				}
+				overlap := 0.0
+				if sib.HasRegion() {
+					overlap = childRegion.OverlapArea(sib.Region)
+				}
+				t.done(n.Branches[j].Child, false)
+				if overlap > 0 {
+					return fmt.Errorf("core: skeleton regions of %v and %v overlap", b.Child, n.Branches[j].Child)
+				}
+			}
+		}
+		rect := b.Rect
+		if err := t.checkNode(b.Child, &rect, seen, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordCount walks the tree and counts stored record portions (leaf
+// records plus spanning records) and distinct record IDs.
+func (t *Tree) RecordCount() (portions int, distinct int, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make(map[uint64]bool)
+	var walk func(id page.ID) error
+	walk = func(id page.ID) error {
+		n, err := t.fetch(id, nil)
+		if err != nil {
+			return err
+		}
+		portions += len(n.Records)
+		for i := range n.Records {
+			ids[uint64(n.Records[i].ID)] = true
+		}
+		children := make([]page.ID, len(n.Branches))
+		for i := range n.Branches {
+			children[i] = n.Branches[i].Child
+		}
+		t.done(id, false)
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return 0, 0, err
+	}
+	return portions, len(ids), nil
+}

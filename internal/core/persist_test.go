@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+	"segidx/internal/store"
+)
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.db")
+	fs, err := store.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(true)
+	tr, err := New(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	m := newModel()
+	for i := 0; i < 1000; i++ {
+		r := randSegment(rng)
+		id := node.RecordID(i + 1)
+		if err := tr.Insert(r, id); err != nil {
+			t.Fatal(err)
+		}
+		m.insert(r, id)
+	}
+	wantLen := tr.Len()
+	wantHeight := tr.Height()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := store.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	tr2, err := Open(cfg, fs2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if tr2.Len() != wantLen || tr2.Height() != wantHeight {
+		t.Fatalf("reopened Len=%d Height=%d, want %d/%d", tr2.Len(), tr2.Height(), wantLen, wantHeight)
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		query := randQuery(rng)
+		if !idsEqual(searchIDs(t, tr2, query), m.search(query)) {
+			t.Fatalf("reopened tree diverged on %v", query)
+		}
+	}
+	// The reopened tree accepts writes.
+	if err := tr2.Insert(geom.Point(1, 1), 99999); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsMismatchedConfig(t *testing.T) {
+	st := store.NewMemStore()
+	cfg := smallConfig(true)
+	tr, err := New(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geom.Point(1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Spanning = false
+	if _, err := Open(other, st); err == nil {
+		t.Error("Open accepted mismatched spanning mode")
+	}
+	other = cfg
+	other.Sizes.LeafBytes = 512
+	if _, err := Open(other, st); err == nil {
+		t.Error("Open accepted mismatched leaf size")
+	}
+}
+
+func TestOpenWithoutMeta(t *testing.T) {
+	st := store.NewMemStore()
+	if _, err := Open(smallConfig(false), st); !errors.Is(err, ErrNoMeta) {
+		t.Fatalf("Open of empty store = %v, want ErrNoMeta", err)
+	}
+}
+
+func TestBufferPressureQueryEquivalence(t *testing.T) {
+	// A tree restricted to a tiny buffer must answer identically to an
+	// unlimited one.
+	cfgBig := smallConfig(true)
+	cfgSmall := cfgBig
+	cfgSmall.PoolBytes = 8 * 1024 // a few dozen 256-byte pages
+
+	big, err := NewInMemory(cfgBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewInMemory(cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 2000; i++ {
+		r := randSegment(rng)
+		id := node.RecordID(i + 1)
+		if err := big.Insert(r, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := small.Insert(r, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if small.PoolStats().Evictions == 0 {
+		t.Fatal("small pool never evicted; pressure test is vacuous")
+	}
+	for q := 0; q < 100; q++ {
+		query := randQuery(rng)
+		if !idsEqual(searchIDs(t, big, query), searchIDs(t, small, query)) {
+			t.Fatalf("buffer pressure changed results on %v", query)
+		}
+	}
+	if err := small.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRequiresFreshStore(t *testing.T) {
+	st := store.NewMemStore()
+	if _, err := New(smallConfig(false), st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(smallConfig(false), st); err == nil {
+		t.Error("New accepted a used store")
+	}
+}
+
+func TestSkeletonPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "skel.db")
+	fs, err := store.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := skeletonConfig(true)
+	tr, err := New(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BuildSkeleton(Estimate{Tuples: 1000, Domain: domain1000()}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(83))
+	m := newModel()
+	for i := 0; i < 1500; i++ {
+		r := randSegment(rng)
+		id := node.RecordID(i + 1)
+		if err := tr.Insert(r, id); err != nil {
+			t.Fatal(err)
+		}
+		m.insert(r, id)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := store.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(cfg, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skeleton regions survive persistence: the invariant checker
+	// verifies region validity and non-overlap on the reopened tree.
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		query := randQuery(rng)
+		if !idsEqual(searchIDs(t, tr2, query), m.search(query)) {
+			t.Fatal("reopened skeleton diverged")
+		}
+	}
+	// Inserts continue to honor the skeleton structure (region splits).
+	for i := 1500; i < 2500; i++ {
+		r := randSegment(rng)
+		if err := tr2.Insert(r, node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		m.insert(r, node.RecordID(i+1))
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 50; q++ {
+		query := randQuery(rng)
+		if !idsEqual(searchIDs(t, tr2, query), m.search(query)) {
+			t.Fatal("post-reopen inserts diverged")
+		}
+	}
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

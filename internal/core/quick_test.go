@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// opSeq is a randomized operation sequence applied to both a tree and the
+// brute-force model; testing/quick drives the generation.
+type opSeq struct {
+	seed     int64
+	ops      int
+	spanning bool
+	skeleton bool
+}
+
+func generateSeq(rng *rand.Rand) opSeq {
+	return opSeq{
+		seed:     rng.Int63(),
+		ops:      rng.Intn(400) + 50,
+		spanning: rng.Intn(2) == 0,
+		skeleton: rng.Intn(2) == 0,
+	}
+}
+
+// runSeq executes the sequence and reports whether tree and model agree
+// and all invariants hold.
+func runSeq(t *testing.T, seq opSeq) bool {
+	t.Helper()
+	cfg := smallConfig(seq.spanning)
+	tr, err := NewInMemory(cfg)
+	if err != nil {
+		t.Logf("new: %v", err)
+		return false
+	}
+	if seq.skeleton {
+		if err := tr.BuildSkeleton(Estimate{Tuples: seq.ops, Domain: domain1000()}); err != nil {
+			t.Logf("skeleton: %v", err)
+			return false
+		}
+	}
+	rng := rand.New(rand.NewSource(seq.seed))
+	m := newModel()
+	var live []node.RecordID
+	next := node.RecordID(1)
+	for i := 0; i < seq.ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 6 || len(live) == 0: // insert
+			var rect geom.Rect
+			switch rng.Intn(3) {
+			case 0:
+				rect = randSegment(rng)
+			case 1:
+				rect = randBox(rng)
+			default:
+				rect = geom.Point(rng.Float64()*1000, rng.Float64()*1000)
+			}
+			if err := tr.Insert(rect, next); err != nil {
+				t.Logf("insert: %v", err)
+				return false
+			}
+			m.insert(rect, next)
+			live = append(live, next)
+			next++
+		case r < 8: // delete
+			j := rng.Intn(len(live))
+			id := live[j]
+			live = append(live[:j], live[j+1:]...)
+			n, err := tr.Delete(id, m.rects[id])
+			if err != nil || n != 1 {
+				t.Logf("delete: n=%d err=%v", n, err)
+				return false
+			}
+			m.delete(id)
+		default: // search
+			q := randQuery(rng)
+			if !idsEqual(searchIDs(t, tr, q), m.search(q)) {
+				t.Logf("search diverged (seed %d op %d)", seq.seed, i)
+				return false
+			}
+		}
+	}
+	if tr.Len() != len(m.rects) {
+		t.Logf("len %d != %d", tr.Len(), len(m.rects))
+		return false
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Logf("invariants (seed %d): %v", seq.seed, err)
+		return false
+	}
+	// Final exhaustive comparison.
+	full := geom.Rect2(0, 0, 1000, 1000)
+	if !idsEqual(searchIDs(t, tr, full), m.search(full)) {
+		t.Logf("final full search diverged (seed %d)", seq.seed)
+		return false
+	}
+	return true
+}
+
+// TestQuickOperationSequences drives random insert/delete/search sequences
+// over all four index configurations via testing/quick.
+func TestQuickOperationSequences(t *testing.T) {
+	gen := rand.New(rand.NewSource(7777))
+	f := func(x int64) bool {
+		return runSeq(t, generateSeq(gen))
+	}
+	cfgCount := 60
+	if testing.Short() {
+		cfgCount = 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: cfgCount}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSpanningInvariant checks, via testing/quick, that arbitrary
+// interval batches leave every spanning record spanning its linked branch.
+func TestQuickSpanningInvariant(t *testing.T) {
+	gen := rand.New(rand.NewSource(8888))
+	f := func(x int64) bool {
+		tr, err := NewInMemory(smallConfig(true))
+		if err != nil {
+			return false
+		}
+		n := gen.Intn(300) + 20
+		for i := 0; i < n; i++ {
+			if err := tr.Insert(randSegment(gen), node.RecordID(i+1)); err != nil {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	count := 40
+	if testing.Short() {
+		count = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCutPortionsCoverOriginal verifies via testing/quick that every
+// inserted rectangle is fully covered by the union of its stored portions.
+func TestQuickCutPortionsCoverOriginal(t *testing.T) {
+	gen := rand.New(rand.NewSource(9999))
+	f := func(x int64) bool {
+		tr, err := NewInMemory(smallConfig(true))
+		if err != nil {
+			return false
+		}
+		n := gen.Intn(200) + 50
+		rects := make(map[node.RecordID]geom.Rect, n)
+		for i := 0; i < n; i++ {
+			r := randSegment(gen)
+			id := node.RecordID(i + 1)
+			if err := tr.Insert(r, id); err != nil {
+				return false
+			}
+			rects[id] = r
+		}
+		covers := make(map[node.RecordID]geom.Rect, n)
+		err = tr.SearchFunc(geom.Rect2(0, 0, 1000, 1000), func(e Entry) bool {
+			if c, ok := covers[e.ID]; ok {
+				covers[e.ID] = c.Union(e.Rect)
+			} else {
+				covers[e.ID] = e.Rect
+			}
+			// Every portion must be inside the original.
+			return rects[e.ID].Contains(e.Rect)
+		})
+		if err != nil {
+			return false
+		}
+		for id, orig := range rects {
+			c, ok := covers[id]
+			if !ok || !c.Equal(orig) {
+				return false
+			}
+		}
+		return true
+	}
+	count := 40
+	if testing.Short() {
+		count = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
+}

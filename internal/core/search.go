@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+	"segidx/internal/page"
+)
+
+// Entry is one search result: a stored rectangle (possibly a cut portion of
+// the original record) and its record ID.
+type Entry struct {
+	Rect geom.Rect
+	ID   node.RecordID
+}
+
+// SearchFunc visits every stored entry intersecting query, including
+// spanning index records on non-leaf nodes (paper Section 3.1.3: spanning
+// records are wholly contained by their node, so depth-first descent into
+// intersecting branches finds all of them). Records cut into several
+// portions are reported once per intersecting portion; use Search for
+// deduplicated logical results.
+//
+// fn returning false stops the search early. The visit order is
+// unspecified.
+func (t *Tree) SearchFunc(query geom.Rect, fn func(Entry) bool) error {
+	if err := t.validateRect(query); err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	atomic.AddUint64(&t.stats.Searches, 1)
+	stack := []page.ID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.fetch(id, &t.stats.SearchNodeAccesses)
+		if err != nil {
+			return err
+		}
+		stop := false
+		for i := range n.Records {
+			if n.Records[i].Rect.Intersects(query) {
+				if !fn(Entry{Rect: n.Records[i].Rect.Clone(), ID: n.Records[i].ID}) {
+					stop = true
+					break
+				}
+			}
+		}
+		if !stop && !n.IsLeaf() {
+			for i := range n.Branches {
+				if n.Branches[i].Rect.Intersects(query) {
+					stack = append(stack, n.Branches[i].Child)
+				}
+			}
+		}
+		t.done(id, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Search returns the logical records intersecting query, deduplicated by
+// record ID (a record cut into spanning and remnant portions is reported
+// once, with the portion rectangle that was found first).
+func (t *Tree) Search(query geom.Rect) ([]Entry, error) {
+	var out []Entry
+	seen := make(map[node.RecordID]bool)
+	err := t.SearchFunc(query, func(e Entry) bool {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of logical records intersecting query.
+func (t *Tree) Count(query geom.Rect) (int, error) {
+	seen := make(map[node.RecordID]bool)
+	err := t.SearchFunc(query, func(e Entry) bool {
+		seen[e.ID] = true
+		return true
+	})
+	return len(seen), err
+}
+
+// VisitPortions walks every stored record portion in the index, reporting
+// the level it is stored at (0 = leaf; higher levels are spanning index
+// records). fn returning false stops the walk. Intended for structural
+// inspection — e.g. the rule-lock manager uses it to report which rule
+// predicates have been escalated to non-leaf nodes.
+func (t *Tree) VisitPortions(fn func(level int, e Entry) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	stack := []page.ID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.fetch(id, nil)
+		if err != nil {
+			return err
+		}
+		stop := false
+		for i := range n.Records {
+			if !fn(n.Level, Entry{Rect: n.Records[i].Rect.Clone(), ID: n.Records[i].ID}) {
+				stop = true
+				break
+			}
+		}
+		if !stop {
+			for i := range n.Branches {
+				stack = append(stack, n.Branches[i].Child)
+			}
+		}
+		t.done(id, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SearchWithin returns the records entirely contained in query,
+// deduplicated by ID. A cut record qualifies when the union of its stored
+// portions lies inside query, which — because cutting preserves the
+// original extent exactly — equals containment of the original record.
+func (t *Tree) SearchWithin(query geom.Rect) ([]Entry, error) {
+	// Collect every intersecting portion per ID, then keep IDs whose
+	// portions all lie inside the query. A record with any portion
+	// outside the query cannot be contained; a portion outside the query
+	// either intersects it (observed and rejected below) or lies fully
+	// outside, in which case the record extends beyond the query in some
+	// dimension and one of its observed portions will touch the query
+	// boundary without being contained.
+	contained := make(map[node.RecordID]bool)
+	first := make(map[node.RecordID]geom.Rect)
+	err := t.SearchFunc(query, func(e Entry) bool {
+		inside := query.Contains(e.Rect)
+		if prev, seen := contained[e.ID]; seen {
+			contained[e.ID] = prev && inside
+		} else {
+			contained[e.ID] = inside
+			first[e.ID] = e.Rect
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for id, ok := range contained {
+		if ok {
+			out = append(out, Entry{Rect: first[id], ID: id})
+		}
+	}
+	return out, nil
+}
+
+// SearchContaining returns the records that entirely contain query — the
+// generalized stabbing query ("all intervals that contain a given point or
+// region", Section 2.1.1). Cut records are reassembled from their portions
+// before the containment test.
+func (t *Tree) SearchContaining(query geom.Rect) ([]Entry, error) {
+	// Union up the portions of each candidate, then test containment of
+	// the query by the union. Portions not intersecting the query can
+	// still contribute extent, but any record containing the query has
+	// every point of the query covered, and the portions tile the
+	// original, so the union of *intersecting* portions already contains
+	// the query if and only if the record does.
+	covers := make(map[node.RecordID]geom.Rect)
+	err := t.SearchFunc(query, func(e Entry) bool {
+		if c, ok := covers[e.ID]; ok {
+			covers[e.ID] = c.Union(e.Rect)
+		} else {
+			covers[e.ID] = e.Rect.Clone()
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for id, c := range covers {
+		if c.Contains(query) {
+			out = append(out, Entry{Rect: c, ID: id})
+		}
+	}
+	return out, nil
+}

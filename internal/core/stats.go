@@ -1,0 +1,55 @@
+package core
+
+import "sync/atomic"
+
+// Stats counts tree activity since creation. Counters are maintained under
+// the tree lock; Stats() returns a consistent snapshot.
+//
+// SearchNodeAccesses / Searches reproduce the paper's cost metric: the
+// average number of index nodes accessed per search is the per-experiment
+// delta of SearchNodeAccesses divided by the delta of Searches.
+type Stats struct {
+	Searches           uint64 // Search/SearchFunc calls
+	SearchNodeAccesses uint64 // nodes touched by searches
+	Inserts            uint64 // logical records inserted
+	InsertNodeAccesses uint64 // nodes touched by inserts (incl. reinserts)
+	Deletes            uint64 // logical records deleted
+
+	LeafSplits    uint64 // leaf node splits
+	NonLeafSplits uint64 // non-leaf node splits
+
+	Cuts       uint64 // records cut into spanning + remnant portions
+	Remnants   uint64 // remnant portions created by cuts
+	SpanPlaced uint64 // spanning index records placed on non-leaf nodes
+	Promotions uint64 // records moved to a parent node after a split
+	Demotions  uint64 // spanning records removed for reinsertion
+	Relinks    uint64 // spanning records relinked to a different branch
+
+	Coalesces uint64 // sibling leaf merges performed
+	Reinserts uint64 // records reinserted (demotion, condensation, merges)
+}
+
+// Stats returns a snapshot of the tree's counters. Counters written only
+// by mutating operations are read under the lock; search-path counters are
+// updated atomically by concurrent readers and loaded the same way.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Stats{
+		Searches:           atomic.LoadUint64(&t.stats.Searches),
+		SearchNodeAccesses: atomic.LoadUint64(&t.stats.SearchNodeAccesses),
+		InsertNodeAccesses: atomic.LoadUint64(&t.stats.InsertNodeAccesses),
+		Inserts:            t.stats.Inserts,
+		Deletes:            t.stats.Deletes,
+		LeafSplits:         t.stats.LeafSplits,
+		NonLeafSplits:      t.stats.NonLeafSplits,
+		Cuts:               t.stats.Cuts,
+		Remnants:           t.stats.Remnants,
+		SpanPlaced:         t.stats.SpanPlaced,
+		Promotions:         t.stats.Promotions,
+		Demotions:          t.stats.Demotions,
+		Relinks:            t.stats.Relinks,
+		Coalesces:          t.stats.Coalesces,
+		Reinserts:          t.stats.Reinserts,
+	}
+}

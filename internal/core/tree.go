@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"segidx/internal/buffer"
+	"segidx/internal/geom"
+	"segidx/internal/node"
+	"segidx/internal/page"
+	"segidx/internal/store"
+)
+
+// Common errors returned by Tree operations.
+var (
+	ErrDims     = errors.New("core: rectangle dimensionality does not match index")
+	ErrBadRect  = errors.New("core: invalid rectangle")
+	ErrNotEmpty = errors.New("core: operation requires an empty index")
+)
+
+// Tree is a paged segment index: an R-Tree when Spanning is disabled, an
+// SR-Tree when enabled, and the skeleton variants of either when built with
+// BuildSkeleton. Safe for one writer and concurrent readers.
+type Tree struct {
+	cfg   Config
+	codec node.Codec
+	store store.Store
+	pool  *buffer.Pool
+
+	mu     sync.RWMutex
+	root   page.ID
+	height int // number of levels; root level == height-1
+	size   int // logical records (cut portions counted once)
+
+	// modCounts tracks per-leaf modification frequency for the
+	// coalescing policy ("the L least frequently modified nodes").
+	modCounts     map[page.ID]uint64
+	sinceCoalesce int
+
+	stats Stats
+}
+
+// New creates an empty dynamic index over the given store. Pass a fresh
+// store; the tree owns its pages.
+func New(cfg Config, st store.Store) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:       cfg,
+		codec:     node.Codec{Dims: cfg.Dims},
+		store:     st,
+		modCounts: make(map[page.ID]uint64),
+	}
+	t.pool = buffer.New(st, t.codec, cfg.PoolBytes)
+	// The metadata page is always the first allocation of a fresh store.
+	meta, err := st.Allocate(metaPageBytes)
+	if err != nil {
+		return nil, err
+	}
+	if meta != metaPageID {
+		return nil, fmt.Errorf("core: store is not fresh (metadata page allocated as %v)", meta)
+	}
+	root, err := t.pool.NewNode(0, cfg.Sizes.BytesForLevel(0))
+	if err != nil {
+		return nil, err
+	}
+	t.root = root.ID
+	t.height = 1
+	if err := t.pool.Unpin(root.ID, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewInMemory creates an empty dynamic index over a fresh in-memory store.
+func NewInMemory(cfg Config) (*Tree, error) {
+	return New(cfg, store.NewMemStore())
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Len reports the number of logical records in the index. Records cut into
+// spanning and remnant portions count once.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Height reports the number of levels (1 for a single leaf root).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// NodeCount reports the number of index nodes (pages, excluding the
+// metadata page).
+func (t *Tree) NodeCount() int { return t.store.Len() - 1 }
+
+// PoolStats returns buffer pool counters.
+func (t *Tree) PoolStats() buffer.Stats { return t.pool.Stats() }
+
+// Flush writes all dirty nodes and the tree metadata back to the page
+// store. A tree over a durable store must be flushed before close to be
+// reopenable with Open.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	return t.writeMeta()
+}
+
+// Close flushes the index and closes the underlying page store. The tree
+// is unusable afterwards.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.pool.Flush(); err != nil {
+		t.store.Close()
+		return err
+	}
+	if err := t.writeMeta(); err != nil {
+		t.store.Close()
+		return err
+	}
+	return t.store.Close()
+}
+
+// leafCap returns the record capacity of a leaf node.
+func (t *Tree) leafCap() int {
+	return t.codec.LeafCapacity(t.cfg.Sizes.BytesForLevel(0))
+}
+
+// branchCap returns the branch capacity of a non-leaf node at level.
+func (t *Tree) branchCap(level int) int {
+	return t.cfg.branchCapAt(level, t.codec)
+}
+
+// spanCap returns the spanning-record capacity of a non-leaf node at level.
+func (t *Tree) spanCap(level int) int {
+	return t.cfg.spanCapAt(level, t.codec)
+}
+
+// minLeaf is the minimum record count of a non-root leaf.
+func (t *Tree) minLeaf() int {
+	m := int(float64(t.leafCap()) * t.cfg.MinFillFrac)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// minBranch is the minimum branch count of a non-root internal node.
+func (t *Tree) minBranch(level int) int {
+	m := int(float64(t.branchCap(level)) * t.cfg.MinFillFrac)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// overflowing reports whether the node must split. Leaves split when their
+// records exceed the page. Non-leaf nodes split only when their branch
+// count exceeds the reserved branch capacity: spanning index records share
+// the remaining page bytes with branches (Section 2.1.2) and are evicted,
+// never split over — see placeSpanning and addBranch.
+func (t *Tree) overflowing(n *node.Node) bool {
+	if n.IsLeaf() {
+		return len(n.Records) > t.leafCap()
+	}
+	return len(n.Branches) > t.branchCap(n.Level)
+}
+
+// pageBytes returns the page size of a node at the given level.
+func (t *Tree) pageBytes(level int) int {
+	return t.cfg.Sizes.BytesForLevel(level)
+}
+
+// fitsBytes reports whether the node's entries fit its page.
+func (t *Tree) fitsBytes(n *node.Node) bool {
+	return t.codec.UsedBytes(n) <= t.pageBytes(n.Level)
+}
+
+// fetch pins and returns a node, charging one logical node access to the
+// given counter. The counter is updated atomically because searches run
+// under the read lock concurrently.
+func (t *Tree) fetch(id page.ID, accesses *uint64) (*node.Node, error) {
+	n, err := t.pool.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch %v: %w", id, err)
+	}
+	if accesses != nil {
+		atomic.AddUint64(accesses, 1)
+	}
+	return n, nil
+}
+
+// done unpins a node.
+func (t *Tree) done(id page.ID, dirty bool) {
+	if err := t.pool.Unpin(id, dirty); err != nil {
+		// An unpin failure indicates a pin-discipline bug; surface loudly
+		// rather than silently corrupting LRU state.
+		panic(err)
+	}
+}
+
+// rootCover returns the rectangle covering everything in the tree, or the
+// empty marker for an empty tree. Caller must hold the lock.
+func (t *Tree) rootCover() (geom.Rect, error) {
+	n, err := t.fetch(t.root, nil)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	cover := n.Cover(t.cfg.Dims)
+	t.done(t.root, false)
+	return cover, nil
+}
+
+// touchLeaf records one modification of a leaf for the coalescing policy.
+func (t *Tree) touchLeaf(id page.ID) {
+	t.modCounts[id]++
+}
+
+// forgetLeaf removes a freed leaf from the modification statistics.
+func (t *Tree) forgetLeaf(id page.ID) {
+	delete(t.modCounts, id)
+}
+
+func (t *Tree) validateRect(r geom.Rect) error {
+	if !r.Valid() {
+		return ErrBadRect
+	}
+	if r.Dims() != t.cfg.Dims {
+		return ErrDims
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Claim is one falsifiable statement from the paper's Section 5 about the
+// shape of a graph's curves.
+type Claim struct {
+	Graph     int
+	Statement string // the paper's prose claim
+	Check     func(*Result) error
+}
+
+// Claims returns the paper's qualitative claims, keyed to the graph they
+// concern. Evaluating them against harness results turns the reproduction
+// into a regression test: `segbench -verify` and TestPaperClaims run them
+// at reduced scale.
+func Claims() []Claim {
+	return []Claim{
+		{1, "Graph 1: the two non-Skeleton indexes perform (nearly) identically",
+			func(r *Result) error { return curvesClose(r, KindRTree, KindSRTree, 0.35) }},
+		{1, "Graph 1: the two Skeleton indexes perform nearly identically",
+			func(r *Result) error { return curvesClose(r, KindSkeletonRTree, KindSkeletonSRTree, 0.25) }},
+		{1, "Graph 1: Skeleton indexes beat non-Skeleton indexes in the VQAR range",
+			func(r *Result) error { return meanBelow(r, KindSkeletonSRTree, KindRTree, VQAR, 1.0) }},
+		{1, "Graph 1: Skeleton indexes also beat non-Skeleton indexes in the HQAR range (no crossover)",
+			func(r *Result) error { return meanBelow(r, KindSkeletonRTree, KindRTree, HQAR, 1.0) }},
+
+		{2, "Graph 2: Skeleton indexes beat non-Skeleton indexes in the VQAR range",
+			func(r *Result) error { return meanBelow(r, KindSkeletonSRTree, KindRTree, VQAR, 1.0) }},
+		{2, "Graph 2: the Skeleton advantage is larger in VQAR than in HQAR",
+			func(r *Result) error { return advantageLarger(r, KindSkeletonRTree, KindRTree, VQAR, HQAR) }},
+
+		{3, "Graph 3: the Skeleton SR-Tree substantially outperforms the Skeleton R-Tree in the VQAR range",
+			func(r *Result) error { return meanBelow(r, KindSkeletonSRTree, KindSkeletonRTree, VQAR, 0.95) }},
+		{3, "Graph 3: Skeleton indexes beat non-Skeleton indexes in the VQAR range",
+			func(r *Result) error { return meanBelow(r, KindSkeletonSRTree, KindRTree, VQAR, 1.0) }},
+		{3, "Graph 3: SR-Tree and R-Tree differ only slightly (non-Skeleton case)",
+			func(r *Result) error { return curvesClose(r, KindRTree, KindSRTree, 0.35) }},
+
+		{4, "Graph 4: the Skeleton SR-Tree outperforms the Skeleton R-Tree in the VQAR range",
+			func(r *Result) error { return meanBelow(r, KindSkeletonSRTree, KindSkeletonRTree, VQAR, 1.0) }},
+		{4, "Graph 4: Skeleton indexes beat non-Skeleton indexes in the VQAR range",
+			func(r *Result) error { return meanBelow(r, KindSkeletonSRTree, KindRTree, VQAR, 1.0) }},
+
+		{5, "Graph 5: Skeleton indexes greatly outperform non-Skeleton indexes",
+			func(r *Result) error { return meanBelow(r, KindSkeletonRTree, KindRTree, anyQAR, 0.85) }},
+		{5, "Graph 5: performance is nearly symmetric over the QAR range",
+			func(r *Result) error { return symmetric(r, KindSkeletonRTree, 2.0) }},
+		{5, "Graph 5: the two Skeleton indexes perform nearly identically",
+			func(r *Result) error { return curvesClose(r, KindSkeletonRTree, KindSkeletonSRTree, 0.25) }},
+
+		{6, "Graph 6: the Skeleton SR-Tree is superior to all other index types",
+			func(r *Result) error {
+				for _, k := range []Kind{KindRTree, KindSRTree, KindSkeletonRTree} {
+					if err := meanBelow(r, KindSkeletonSRTree, k, anyQAR, 1.0); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		{6, "Graph 6: performance is nearly symmetric over the QAR range",
+			func(r *Result) error { return symmetric(r, KindSkeletonSRTree, 2.0) }},
+	}
+}
+
+func anyQAR(float64) bool { return true }
+
+// curvesClose fails when the two curves differ by more than tol
+// (relative) on average.
+func curvesClose(r *Result, a, b Kind, tol float64) error {
+	ca, cb := r.CurveFor(a), r.CurveFor(b)
+	if ca == nil || cb == nil {
+		return fmt.Errorf("missing curve")
+	}
+	var relSum float64
+	for i := range ca.Points {
+		pa, pb := ca.Points[i].AvgNodes, cb.Points[i].AvgNodes
+		if m := (pa + pb) / 2; m > 0 {
+			d := pa - pb
+			if d < 0 {
+				d = -d
+			}
+			relSum += d / m
+		}
+	}
+	rel := relSum / float64(len(ca.Points))
+	if rel > tol {
+		return fmt.Errorf("%v and %v differ by %.0f%% on average (tolerance %.0f%%)", a, b, rel*100, tol*100)
+	}
+	return nil
+}
+
+// meanBelow fails unless a's mean over the range is below factor * b's.
+func meanBelow(r *Result, a, b Kind, rng func(float64) bool, factor float64) error {
+	ca, cb := r.CurveFor(a), r.CurveFor(b)
+	if ca == nil || cb == nil {
+		return fmt.Errorf("missing curve")
+	}
+	ma, mb := ca.Mean(rng), cb.Mean(rng)
+	if !(ma < mb*factor) {
+		return fmt.Errorf("%v mean %.1f not below %.2fx %v mean %.1f", a, ma, factor, b, mb)
+	}
+	return nil
+}
+
+// advantageLarger fails unless a's advantage over b (ratio of means) is
+// larger in range1 than in range2.
+func advantageLarger(r *Result, a, b Kind, range1, range2 func(float64) bool) error {
+	ca, cb := r.CurveFor(a), r.CurveFor(b)
+	if ca == nil || cb == nil {
+		return fmt.Errorf("missing curve")
+	}
+	adv1 := cb.Mean(range1) / ca.Mean(range1)
+	adv2 := cb.Mean(range2) / ca.Mean(range2)
+	if !(adv1 > adv2) {
+		return fmt.Errorf("advantage %.2fx in first range not above %.2fx in second", adv1, adv2)
+	}
+	return nil
+}
+
+// symmetric fails when the curve's endpoints (most vertical vs most
+// horizontal QAR) differ by more than the given factor.
+func symmetric(r *Result, k Kind, factor float64) error {
+	c := r.CurveFor(k)
+	if c == nil || len(c.Points) < 2 {
+		return fmt.Errorf("missing curve")
+	}
+	lo := c.Points[0].AvgNodes
+	hi := c.Points[len(c.Points)-1].AvgNodes
+	ratio := lo / hi
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > factor {
+		return fmt.Errorf("%v endpoints %.1f vs %.1f (ratio %.2f > %.2f)", k, lo, hi, ratio, factor)
+	}
+	return nil
+}
+
+// VerifyClaims runs every claim for the graphs present in results and
+// returns a report plus the number of failures. results maps graph number
+// to a completed Result.
+func VerifyClaims(results map[int]*Result) (string, int) {
+	var b strings.Builder
+	failures := 0
+	for _, claim := range Claims() {
+		res, ok := results[claim.Graph]
+		if !ok {
+			continue
+		}
+		if err := claim.Check(res); err != nil {
+			failures++
+			fmt.Fprintf(&b, "FAIL %s\n     %v\n", claim.Statement, err)
+		} else {
+			fmt.Fprintf(&b, "ok   %s\n", claim.Statement)
+		}
+	}
+	return b.String(), failures
+}

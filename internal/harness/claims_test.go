@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperClaims runs the paper's Section 5 claims at reduced scale. Some
+// shape claims only emerge clearly at full scale; the reduced-scale run
+// here uses slightly relaxed spec parameters and asserts that the headline
+// claims (graphs 3, 5, 6) hold and that no more than a small number of
+// secondary claims fail.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims need a moderately sized build")
+	}
+	tuples := 8000
+	results := make(map[int]*Result)
+	for g := 1; g <= 6; g++ {
+		spec, err := GraphSpec(g, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.LeafBytes = 512
+		spec.QueriesPerQAR = 30
+		res, err := Run(spec, nil)
+		if err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+		results[g] = res
+	}
+	report, failures := VerifyClaims(results)
+	t.Logf("\n%s", report)
+	// Headline claims must hold.
+	for _, headline := range []string{
+		"Graph 3: the Skeleton SR-Tree substantially outperforms",
+		"Graph 5: Skeleton indexes greatly outperform",
+		"Graph 6: the Skeleton SR-Tree is superior",
+	} {
+		if strings.Contains(report, "FAIL "+headline) {
+			t.Errorf("headline claim failed: %s", headline)
+		}
+	}
+	if failures > 3 {
+		t.Errorf("%d claims failed at reduced scale (tolerating 3)", failures)
+	}
+}
+
+func TestClaimHelpers(t *testing.T) {
+	mk := func(vals map[Kind][]float64) *Result {
+		r := &Result{Spec: Spec{QARs: []float64{0.01, 1, 100}}}
+		for k, v := range vals {
+			c := Curve{Kind: k}
+			for i, q := range r.Spec.QARs {
+				c.Points = append(c.Points, Point{QAR: q, AvgNodes: v[i]})
+			}
+			r.Curves = append(r.Curves, c)
+		}
+		return r
+	}
+	r := mk(map[Kind][]float64{
+		KindRTree:          {100, 50, 100},
+		KindSRTree:         {102, 51, 98},
+		KindSkeletonRTree:  {40, 20, 50},
+		KindSkeletonSRTree: {30, 20, 45},
+	})
+	if err := curvesClose(r, KindRTree, KindSRTree, 0.1); err != nil {
+		t.Errorf("close curves rejected: %v", err)
+	}
+	if err := curvesClose(r, KindRTree, KindSkeletonRTree, 0.1); err == nil {
+		t.Error("distant curves accepted")
+	}
+	if err := meanBelow(r, KindSkeletonSRTree, KindSkeletonRTree, VQAR, 1.0); err != nil {
+		t.Errorf("meanBelow rejected: %v", err)
+	}
+	if err := meanBelow(r, KindRTree, KindSkeletonRTree, VQAR, 1.0); err == nil {
+		t.Error("meanBelow accepted a worse curve")
+	}
+	if err := symmetric(r, KindRTree, 1.5); err != nil {
+		t.Errorf("symmetric rejected: %v", err)
+	}
+	asym := mk(map[Kind][]float64{KindRTree: {1000, 50, 10}})
+	if err := symmetric(asym, KindRTree, 2.0); err == nil {
+		t.Error("asymmetric curve accepted")
+	}
+	if err := advantageLarger(r, KindSkeletonRTree, KindRTree, VQAR, HQAR); err != nil {
+		t.Errorf("advantageLarger: %v", err)
+	}
+
+	// Missing curves are errors, not panics.
+	empty := &Result{Spec: Spec{QARs: []float64{1}}}
+	if err := curvesClose(empty, KindRTree, KindSRTree, 1); err == nil {
+		t.Error("missing curves accepted")
+	}
+	if err := meanBelow(empty, KindRTree, KindSRTree, VQAR, 1); err == nil {
+		t.Error("missing curves accepted")
+	}
+	if err := symmetric(empty, KindRTree, 1); err == nil {
+		t.Error("missing curve accepted")
+	}
+}
+
+func TestVerifyClaimsReport(t *testing.T) {
+	// With no results, nothing runs and nothing fails.
+	report, failures := VerifyClaims(nil)
+	if report != "" || failures != 0 {
+		t.Errorf("empty verify: %q, %d", report, failures)
+	}
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"segidx/internal/textplot"
+)
+
+// Table renders the result as the paper's graph data: one row per QAR, one
+// column of average node accesses per index type.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Spec.Name)
+	fmt.Fprintf(&b, "avg index nodes accessed per search (100 searches per QAR)\n\n")
+	fmt.Fprintf(&b, "%12s", "QAR")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, " %17s", c.Kind)
+	}
+	b.WriteByte('\n')
+	for i, qar := range r.Spec.QARs {
+		fmt.Fprintf(&b, "%12g", qar)
+		for _, c := range r.Curves {
+			fmt.Fprintf(&b, " %17.1f", c.Points[i].AvgNodes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values with a header row.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("qar")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(c.Kind.String(), " ", "_"))
+	}
+	b.WriteByte('\n')
+	for i, qar := range r.Spec.QARs {
+		fmt.Fprintf(&b, "%g", qar)
+		for _, c := range r.Curves {
+			fmt.Fprintf(&b, ",%.2f", c.Points[i].AvgNodes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders the result as an ASCII chart in the paper's axes: log10
+// QAR on X, average node accesses on Y.
+func (r *Result) Chart() string {
+	chart := &textplot.Chart{
+		Title:  r.Spec.Name,
+		XLabel: "horizontal/vertical query aspect ratio",
+		YLabel: "average number of nodes accessed per search",
+		LogX:   true,
+		Width:  66,
+		Height: 22,
+	}
+	for _, c := range r.Curves {
+		s := textplot.Series{Name: c.Kind.String(), Marker: c.Kind.Marker()}
+		for _, p := range c.Points {
+			s.X = append(s.X, p.QAR)
+			s.Y = append(s.Y, p.AvgNodes)
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart.Render()
+}
+
+// BuildSummary renders per-index build statistics.
+func (r *Result) BuildSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-17s %7s %8s %9s %8s %8s %8s %8s\n",
+		"index", "height", "nodes", "spanning", "splits", "promos", "demos", "cuts")
+	for _, bi := range r.Builds {
+		fmt.Fprintf(&b, "%-17s %7d %8d %9d %8d %8d %8d %8d\n",
+			bi.Kind, bi.Height, bi.Nodes, bi.SpanningRecords,
+			bi.Stats.LeafSplits+bi.Stats.NonLeafSplits, bi.Stats.Promotions,
+			bi.Stats.Demotions, bi.Stats.Cuts)
+	}
+	return b.String()
+}
+
+// Mean returns a curve's average node accesses over a QAR predicate
+// (useful for summarizing the VQAR and HQAR ranges).
+func (c Curve) Mean(include func(qar float64) bool) float64 {
+	sum, n := 0.0, 0
+	for _, p := range c.Points {
+		if include(p.QAR) {
+			sum += p.AvgNodes
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// VQAR selects the paper's vertical range (log QAR < 0).
+func VQAR(qar float64) bool { return qar < 1 }
+
+// HQAR selects the paper's horizontal range (log QAR > 0).
+func HQAR(qar float64) bool { return qar > 1 }
+
+// CurveFor returns the curve of the given kind, or nil.
+func (r *Result) CurveFor(kind Kind) *Curve {
+	for i := range r.Curves {
+		if r.Curves[i].Kind == kind {
+			return &r.Curves[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"segidx/internal/workload"
+)
+
+// smallSpec shrinks an experiment so it runs in test time while keeping
+// every mechanism engaged.
+func smallSpec(ds workload.Dataset, tuples int) Spec {
+	spec := NewSpec("test: "+ds.String(), ds, tuples)
+	spec.LeafBytes = 512
+	spec.QueriesPerQAR = 20
+	spec.QARs = []float64{0.001, 0.1, 1, 10, 1000}
+	spec.CoalesceEvery = 200
+	spec.CheckInvariants = true
+	return spec
+}
+
+func TestRunProducesCompleteResult(t *testing.T) {
+	spec := smallSpec(workload.I3, 4000)
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 || len(res.Builds) != 4 {
+		t.Fatalf("curves=%d builds=%d", len(res.Curves), len(res.Builds))
+	}
+	for _, c := range res.Curves {
+		if len(c.Points) != len(spec.QARs) {
+			t.Fatalf("%v: %d points", c.Kind, len(c.Points))
+		}
+		for _, p := range c.Points {
+			if p.AvgNodes <= 0 {
+				t.Fatalf("%v at qar %g: avg %g", c.Kind, p.QAR, p.AvgNodes)
+			}
+		}
+	}
+	// The SR variants must actually hold spanning records on exponential
+	// length data.
+	for _, b := range res.Builds {
+		switch b.Kind {
+		case KindSRTree, KindSkeletonSRTree:
+			if b.SpanningRecords == 0 {
+				t.Errorf("%v stored no spanning records on I3", b.Kind)
+			}
+		case KindRTree, KindSkeletonRTree:
+			if b.SpanningRecords != 0 {
+				t.Errorf("%v stored spanning records", b.Kind)
+			}
+		}
+	}
+}
+
+func TestPaperShapeSkeletonWinsVQAR(t *testing.T) {
+	// The paper's headline shape at reduced scale: on exponential-length
+	// interval data, skeleton indexes beat non-skeleton indexes in the
+	// vertical QAR range.
+	spec := smallSpec(workload.I3, 6000)
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.CurveFor(KindRTree).Mean(VQAR)
+	skelSR := res.CurveFor(KindSkeletonSRTree).Mean(VQAR)
+	if skelSR >= rt {
+		t.Errorf("VQAR mean: Skeleton SR-Tree %.1f not below R-Tree %.1f", skelSR, rt)
+	}
+	skelR := res.CurveFor(KindSkeletonRTree).Mean(VQAR)
+	if skelSR >= skelR {
+		t.Errorf("VQAR mean: Skeleton SR-Tree %.1f not below Skeleton R-Tree %.1f (Graph 3 shape)", skelSR, skelR)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	spec := smallSpec(workload.R1, 1500)
+	spec.QueriesPerQAR = 10
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Table()
+	for _, want := range []string{"QAR", "R-Tree", "Skeleton SR-Tree", "0.001"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "qar,R-Tree,SR-Tree,Skeleton_R-Tree,Skeleton_SR-Tree") {
+		t.Errorf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != len(spec.QARs)+1 {
+		t.Errorf("csv rows = %d", got)
+	}
+	chart := res.Chart()
+	if !strings.Contains(chart, "aspect ratio") || !strings.Contains(chart, "S Skeleton SR-Tree") {
+		t.Errorf("chart malformed:\n%s", chart)
+	}
+	summary := res.BuildSummary()
+	if !strings.Contains(summary, "spanning") {
+		t.Errorf("summary malformed:\n%s", summary)
+	}
+}
+
+func TestGraphSpec(t *testing.T) {
+	for g := 1; g <= 8; g++ {
+		spec, err := GraphSpec(g, 1000)
+		if err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+		if spec.Tuples != 1000 || len(spec.Kinds) != 4 {
+			t.Fatalf("graph %d spec: %+v", g, spec)
+		}
+	}
+	if _, err := GraphSpec(9, 1000); err == nil {
+		t.Error("graph 9 accepted")
+	}
+	if _, err := GraphSpec(0, 1000); err == nil {
+		t.Error("graph 0 accepted")
+	}
+}
+
+func TestCurveMean(t *testing.T) {
+	c := Curve{Points: []Point{{0.1, 10}, {1, 20}, {10, 30}}}
+	if got := c.Mean(VQAR); got != 10 {
+		t.Errorf("VQAR mean = %g", got)
+	}
+	if got := c.Mean(HQAR); got != 30 {
+		t.Errorf("HQAR mean = %g", got)
+	}
+}
+
+func TestPackedKindInHarness(t *testing.T) {
+	spec := smallSpec(workload.I1, 2000)
+	spec.Kinds = []Kind{KindRTree, KindPackedRTree}
+	spec.QueriesPerQAR = 10
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	packed := res.CurveFor(KindPackedRTree)
+	if packed == nil {
+		t.Fatal("no packed curve")
+	}
+	for _, p := range packed.Points {
+		if p.AvgNodes <= 0 {
+			t.Fatalf("packed avg %g at qar %g", p.AvgNodes, p.QAR)
+		}
+	}
+	// Packing yields full occupancy: fewer nodes than the dynamic build.
+	var dynNodes, packedNodes int
+	for _, b := range res.Builds {
+		switch b.Kind {
+		case KindRTree:
+			dynNodes = b.Nodes
+		case KindPackedRTree:
+			packedNodes = b.Nodes
+		}
+	}
+	if packedNodes >= dynNodes {
+		t.Errorf("packed build has %d nodes, dynamic %d", packedNodes, dynNodes)
+	}
+}
+
+func TestKindStringsAndMarkers(t *testing.T) {
+	kinds := append(AllKinds(), KindPackedRTree)
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+		if k.Marker() == '?' {
+			t.Errorf("kind %v has no marker", k)
+		}
+	}
+	if Kind(99).Marker() != '?' || Kind(99).String() == "" {
+		t.Error("unknown kind not handled")
+	}
+}

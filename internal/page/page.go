@@ -1,0 +1,72 @@
+// Package page defines the page identifiers and per-level size classes used
+// by the paged segment-index structures.
+//
+// The paper (Section 5) uses 1 KiB leaf nodes whose size doubles at each
+// successively higher level of the index (tactic 2, Section 2.1.2: larger
+// nodes at higher levels preserve fanout when non-leaf nodes also carry
+// spanning index records). A SizeClasser maps a node's level to its page
+// size in bytes.
+package page
+
+import "fmt"
+
+// ID identifies a page within a Store. The zero ID is reserved as "no page".
+type ID uint64
+
+// Nil is the reserved null page ID.
+const Nil ID = 0
+
+// String renders the ID for diagnostics.
+func (id ID) String() string {
+	if id == Nil {
+		return "page(nil)"
+	}
+	return fmt.Sprintf("page(%d)", uint64(id))
+}
+
+// SizeClasses computes per-level page sizes.
+type SizeClasses struct {
+	// LeafBytes is the page size of level-0 (leaf) nodes.
+	LeafBytes int
+	// Growth multiplies the page size at each successively higher level.
+	// Growth 1 keeps all nodes the same size; the paper uses 2.
+	Growth int
+	// MaxBytes caps the page size; levels above the cap reuse it.
+	// Zero means no cap.
+	MaxBytes int
+}
+
+// DefaultSizeClasses returns the paper's configuration: 1 KiB leaves,
+// doubling per level, capped at 64 KiB (a cap the paper's 4-to-5-level trees
+// never reach; it merely bounds pathological configurations).
+func DefaultSizeClasses() SizeClasses {
+	return SizeClasses{LeafBytes: 1024, Growth: 2, MaxBytes: 64 * 1024}
+}
+
+// Validate reports whether the configuration is usable.
+func (s SizeClasses) Validate() error {
+	if s.LeafBytes < 128 {
+		return fmt.Errorf("page: leaf size %d below minimum 128", s.LeafBytes)
+	}
+	if s.Growth < 1 {
+		return fmt.Errorf("page: growth factor %d below 1", s.Growth)
+	}
+	if s.MaxBytes != 0 && s.MaxBytes < s.LeafBytes {
+		return fmt.Errorf("page: max bytes %d below leaf size %d", s.MaxBytes, s.LeafBytes)
+	}
+	return nil
+}
+
+// BytesForLevel returns the page size of a node at the given level
+// (level 0 = leaf).
+func (s SizeClasses) BytesForLevel(level int) int {
+	b := s.LeafBytes
+	for i := 0; i < level; i++ {
+		next := b * s.Growth
+		if s.MaxBytes != 0 && next > s.MaxBytes {
+			return s.MaxBytes
+		}
+		b = next
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package page
+
+import "testing"
+
+func TestBytesForLevel(t *testing.T) {
+	s := DefaultSizeClasses()
+	cases := []struct {
+		level int
+		want  int
+	}{
+		{0, 1024},
+		{1, 2048},
+		{2, 4096},
+		{3, 8192},
+		{6, 65536},
+		{7, 65536}, // capped
+		{20, 65536},
+	}
+	for _, c := range cases {
+		if got := s.BytesForLevel(c.level); got != c.want {
+			t.Errorf("BytesForLevel(%d) = %d, want %d", c.level, got, c.want)
+		}
+	}
+}
+
+func TestFixedSizeClasses(t *testing.T) {
+	s := SizeClasses{LeafBytes: 4096, Growth: 1}
+	for level := 0; level < 5; level++ {
+		if got := s.BytesForLevel(level); got != 4096 {
+			t.Errorf("fixed BytesForLevel(%d) = %d, want 4096", level, got)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultSizeClasses().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	bad := []SizeClasses{
+		{LeafBytes: 16, Growth: 2},
+		{LeafBytes: 1024, Growth: 0},
+		{LeafBytes: 1024, Growth: 2, MaxBytes: 512},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", s)
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if Nil.String() != "page(nil)" {
+		t.Errorf("Nil.String() = %q", Nil.String())
+	}
+	if ID(7).String() != "page(7)" {
+		t.Errorf("ID(7).String() = %q", ID(7).String())
+	}
+}

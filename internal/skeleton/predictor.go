@@ -1,0 +1,336 @@
+// Package skeleton provides distribution prediction for skeleton indexes
+// (Section 4): when the input distribution is unknown but tuples arrive in
+// random order, the first T tuples are buffered in memory, per-dimension
+// histograms are computed from them, a skeleton index is constructed from
+// those histograms, and the buffered plus subsequent tuples are inserted
+// into it. The paper found T between 5% and 10% of the expected input to
+// work well and uses 10,000 tuples in its experiments.
+package skeleton
+
+import (
+	"errors"
+	"fmt"
+
+	"segidx/internal/core"
+	"segidx/internal/geom"
+	"segidx/internal/histogram"
+	"segidx/internal/node"
+	"segidx/internal/store"
+)
+
+// DefaultBins is the per-dimension histogram resolution used for
+// prediction.
+const DefaultBins = 100
+
+// Predictor wraps a Tree, deferring skeleton construction until a sample
+// of the input has been observed. It implements the same operations as
+// core.Tree; searches and deletes during the buffering phase consult the
+// buffer.
+type Predictor struct {
+	cfg      core.Config
+	st       store.Store
+	domain   geom.Rect
+	expected int
+	sample   int
+	bins     int
+
+	buf  []buffered
+	tree *core.Tree // nil until the skeleton is built
+}
+
+type buffered struct {
+	rect geom.Rect
+	id   node.RecordID
+}
+
+// New creates a predictor that buffers sampleFraction of expectedTuples
+// (clamped to [1, expectedTuples]) before building the skeleton over the
+// given domain.
+func New(cfg core.Config, st store.Store, domain geom.Rect, expectedTuples int, sampleFraction float64) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if expectedTuples < 1 {
+		return nil, fmt.Errorf("skeleton: expected tuples %d < 1", expectedTuples)
+	}
+	if sampleFraction <= 0 || sampleFraction > 1 {
+		return nil, fmt.Errorf("skeleton: sample fraction %g outside (0, 1]", sampleFraction)
+	}
+	if !domain.Valid() || domain.Dims() != cfg.Dims {
+		return nil, errors.New("skeleton: invalid domain")
+	}
+	sample := int(float64(expectedTuples) * sampleFraction)
+	if sample < 1 {
+		sample = 1
+	}
+	return &Predictor{
+		cfg:      cfg,
+		st:       st,
+		domain:   domain.Clone(),
+		expected: expectedTuples,
+		sample:   sample,
+		bins:     DefaultBins,
+	}, nil
+}
+
+// NewFixedSample is New with an absolute sample size (the paper's
+// experiments buffer exactly 10,000 tuples).
+func NewFixedSample(cfg core.Config, st store.Store, domain geom.Rect, expectedTuples, sampleSize int) (*Predictor, error) {
+	if sampleSize < 1 || sampleSize > expectedTuples {
+		return nil, fmt.Errorf("skeleton: sample size %d outside [1, %d]", sampleSize, expectedTuples)
+	}
+	p, err := New(cfg, st, domain, expectedTuples, 1)
+	if err != nil {
+		return nil, err
+	}
+	p.sample = sampleSize
+	return p, nil
+}
+
+// Buffering reports whether the predictor is still collecting its sample.
+func (p *Predictor) Buffering() bool { return p.tree == nil }
+
+// Tree returns the underlying tree, or nil while buffering.
+func (p *Predictor) Tree() *core.Tree { return p.tree }
+
+// Insert adds a record, building the skeleton once the sample is complete.
+func (p *Predictor) Insert(rect geom.Rect, id node.RecordID) error {
+	if p.tree != nil {
+		return p.tree.Insert(rect, id)
+	}
+	if !rect.Valid() || rect.Dims() != p.cfg.Dims {
+		return core.ErrBadRect
+	}
+	p.buf = append(p.buf, buffered{rect: rect.Clone(), id: id})
+	if len(p.buf) >= p.sample {
+		return p.build()
+	}
+	return nil
+}
+
+// build computes per-dimension histograms from the buffered sample,
+// constructs the skeleton, and drains the buffer into it.
+func (p *Predictor) build() error {
+	hists := make([]*histogram.Histogram, p.cfg.Dims)
+	for d := 0; d < p.cfg.Dims; d++ {
+		h, err := histogram.New(p.domain.Min[d], p.domain.Max[d], p.bins)
+		if err != nil {
+			return err
+		}
+		for _, b := range p.buf {
+			h.AddInterval(b.rect.Min[d], b.rect.Max[d])
+		}
+		hists[d] = h
+	}
+	tree, err := core.NewSkeleton(p.cfg, p.st, core.Estimate{
+		Tuples: p.expected,
+		Domain: p.domain,
+		Hists:  hists,
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range p.buf {
+		if err := tree.Insert(b.rect, b.id); err != nil {
+			return err
+		}
+	}
+	p.buf = nil
+	p.tree = tree
+	return nil
+}
+
+// Finalize forces skeleton construction from whatever sample has been
+// collected (building a uniform skeleton if nothing was buffered). Useful
+// when the input ends before the sample target is reached.
+func (p *Predictor) Finalize() error {
+	if p.tree != nil {
+		return nil
+	}
+	return p.build()
+}
+
+// Search returns deduplicated records intersecting query, consulting the
+// buffer while in the buffering phase.
+func (p *Predictor) Search(query geom.Rect) ([]core.Entry, error) {
+	if p.tree != nil {
+		return p.tree.Search(query)
+	}
+	if !query.Valid() || query.Dims() != p.cfg.Dims {
+		return nil, core.ErrBadRect
+	}
+	var out []core.Entry
+	for _, b := range p.buf {
+		if b.rect.Intersects(query) {
+			out = append(out, core.Entry{Rect: b.rect.Clone(), ID: b.id})
+		}
+	}
+	return out, nil
+}
+
+// SearchFunc visits records intersecting query.
+func (p *Predictor) SearchFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	if p.tree != nil {
+		return p.tree.SearchFunc(query, fn)
+	}
+	entries, err := p.Search(query)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SearchWithin returns the records entirely contained in query.
+func (p *Predictor) SearchWithin(query geom.Rect) ([]core.Entry, error) {
+	if p.tree != nil {
+		return p.tree.SearchWithin(query)
+	}
+	if !query.Valid() || query.Dims() != p.cfg.Dims {
+		return nil, core.ErrBadRect
+	}
+	var out []core.Entry
+	for _, b := range p.buf {
+		if query.Contains(b.rect) {
+			out = append(out, core.Entry{Rect: b.rect.Clone(), ID: b.id})
+		}
+	}
+	return out, nil
+}
+
+// SearchContaining returns the records that entirely contain query.
+func (p *Predictor) SearchContaining(query geom.Rect) ([]core.Entry, error) {
+	if p.tree != nil {
+		return p.tree.SearchContaining(query)
+	}
+	if !query.Valid() || query.Dims() != p.cfg.Dims {
+		return nil, core.ErrBadRect
+	}
+	var out []core.Entry
+	for _, b := range p.buf {
+		if b.rect.Contains(query) {
+			out = append(out, core.Entry{Rect: b.rect.Clone(), ID: b.id})
+		}
+	}
+	return out, nil
+}
+
+// VisitPortions walks every stored record portion with its storage level
+// (buffered records report level 0).
+func (p *Predictor) VisitPortions(fn func(level int, e core.Entry) bool) error {
+	if p.tree != nil {
+		return p.tree.VisitPortions(fn)
+	}
+	for _, b := range p.buf {
+		if !fn(0, core.Entry{Rect: b.rect.Clone(), ID: b.id}) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records intersecting query.
+func (p *Predictor) Count(query geom.Rect) (int, error) {
+	if p.tree != nil {
+		return p.tree.Count(query)
+	}
+	entries, err := p.Search(query)
+	return len(entries), err
+}
+
+// Delete removes the record with the given ID.
+func (p *Predictor) Delete(id node.RecordID, hint geom.Rect) (int, error) {
+	if p.tree != nil {
+		return p.tree.Delete(id, hint)
+	}
+	for i := range p.buf {
+		if p.buf[i].id == id && p.buf[i].rect.Intersects(hint) {
+			p.buf = append(p.buf[:i], p.buf[i+1:]...)
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// DeleteWhere removes every buffered or indexed record intersecting query
+// and satisfying pred.
+func (p *Predictor) DeleteWhere(query geom.Rect, pred func(core.Entry) bool) (int, error) {
+	if p.tree != nil {
+		return p.tree.DeleteWhere(query, pred)
+	}
+	if !query.Valid() || query.Dims() != p.cfg.Dims {
+		return 0, core.ErrBadRect
+	}
+	removed := 0
+	kept := p.buf[:0]
+	for _, b := range p.buf {
+		if b.rect.Intersects(query) && (pred == nil || pred(core.Entry{Rect: b.rect, ID: b.id})) {
+			removed++
+			continue
+		}
+		kept = append(kept, b)
+	}
+	p.buf = kept
+	return removed, nil
+}
+
+// Len reports the number of records held (buffered plus indexed).
+func (p *Predictor) Len() int {
+	if p.tree != nil {
+		return p.tree.Len()
+	}
+	return len(p.buf)
+}
+
+// Height reports the tree height (1 while buffering).
+func (p *Predictor) Height() int {
+	if p.tree != nil {
+		return p.tree.Height()
+	}
+	return 1
+}
+
+// NodeCount reports the number of index nodes (0 while buffering).
+func (p *Predictor) NodeCount() int {
+	if p.tree != nil {
+		return p.tree.NodeCount()
+	}
+	return 0
+}
+
+// Stats returns tree counters (zero while buffering).
+func (p *Predictor) Stats() core.Stats {
+	if p.tree != nil {
+		return p.tree.Stats()
+	}
+	return core.Stats{}
+}
+
+// Flush persists the index; it finalizes the skeleton first.
+func (p *Predictor) Flush() error {
+	if err := p.Finalize(); err != nil {
+		return err
+	}
+	return p.tree.Flush()
+}
+
+// CheckInvariants validates the underlying tree (trivially true while
+// buffering).
+func (p *Predictor) CheckInvariants() error {
+	if p.tree != nil {
+		return p.tree.CheckInvariants()
+	}
+	return nil
+}
+
+// Analyze reports the structure of the underlying tree.
+func (p *Predictor) Analyze() (*core.Report, error) {
+	if p.tree != nil {
+		return p.tree.Analyze()
+	}
+	return &core.Report{Height: 1, LogicalRecords: len(p.buf)}, nil
+}

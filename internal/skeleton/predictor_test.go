@@ -1,0 +1,226 @@
+package skeleton
+
+import (
+	"sort"
+	"testing"
+
+	"segidx/internal/core"
+	"segidx/internal/geom"
+	"segidx/internal/node"
+	"segidx/internal/store"
+	"segidx/internal/workload"
+)
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Sizes.LeafBytes = 256
+	cfg.Spanning = true
+	cfg.CoalesceEvery = 200
+	return cfg
+}
+
+func domain() geom.Rect { return workload.Domain() }
+
+func TestPredictorValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := New(cfg, store.NewMemStore(), domain(), 0, 0.1); err == nil {
+		t.Error("zero expected tuples accepted")
+	}
+	if _, err := New(cfg, store.NewMemStore(), domain(), 100, 0); err == nil {
+		t.Error("zero sample fraction accepted")
+	}
+	if _, err := New(cfg, store.NewMemStore(), domain(), 100, 1.5); err == nil {
+		t.Error("sample fraction > 1 accepted")
+	}
+	if _, err := NewFixedSample(cfg, store.NewMemStore(), domain(), 100, 1000); err == nil {
+		t.Error("sample size above expected accepted")
+	}
+	bad := geom.Rect{Min: []float64{0}, Max: []float64{1}}
+	if _, err := New(cfg, store.NewMemStore(), bad, 100, 0.1); err == nil {
+		t.Error("bad domain accepted")
+	}
+}
+
+func TestPredictorBuildsAfterSample(t *testing.T) {
+	p, err := New(testConfig(), store.NewMemStore(), domain(), 1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.I3.Generate(1000, 99)
+	for i, r := range data {
+		if err := p.Insert(r, node.RecordID(i+1)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i < 99 && !p.Buffering() {
+			t.Fatalf("built after only %d inserts (sample is 100)", i+1)
+		}
+	}
+	if p.Buffering() {
+		t.Fatal("never built the skeleton")
+	}
+	if p.Len() != 1000 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Height() < 2 {
+		t.Fatalf("height %d", p.Height())
+	}
+}
+
+func TestPredictorSearchDuringAndAfterBuffering(t *testing.T) {
+	p, err := NewFixedSample(testConfig(), store.NewMemStore(), domain(), 400, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.I1.Generate(400, 123)
+	check := func(phase string) {
+		q := geom.Rect2(0, 0, workload.DomainHi, workload.DomainHi)
+		var want []node.RecordID
+		for i := 0; i < p.Len(); i++ {
+			want = append(want, node.RecordID(i+1))
+		}
+		got, err := p.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		var ids []node.RecordID
+		for _, e := range got {
+			ids = append(ids, e.ID)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		if len(ids) != len(want) {
+			t.Fatalf("%s: found %d, want %d", phase, len(ids), len(want))
+		}
+		for i := range ids {
+			if ids[i] != want[i] {
+				t.Fatalf("%s: ids diverge at %d", phase, i)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := p.Insert(data[i], node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("buffering")
+	n, err := p.Count(geom.Rect2(0, 0, workload.DomainHi, workload.DomainHi))
+	if err != nil || n != 100 {
+		t.Fatalf("Count during buffering = %d, %v", n, err)
+	}
+	for i := 100; i < 400; i++ {
+		if err := p.Insert(data[i], node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("indexed")
+}
+
+func TestPredictorDeleteDuringBuffering(t *testing.T) {
+	p, err := NewFixedSample(testConfig(), store.NewMemStore(), domain(), 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := geom.Rect2(1, 1, 2, 1)
+	if err := p.Insert(r, 7); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.Delete(7, r); err != nil || n != 1 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if n, _ := p.Delete(7, r); n != 0 {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestPredictorFinalizeEarly(t *testing.T) {
+	p, err := NewFixedSample(testConfig(), store.NewMemStore(), domain(), 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.R2.Generate(50, 5)
+	for i, r := range data {
+		if err := p.Insert(r, node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Buffering() {
+		t.Fatal("still buffering after Finalize")
+	}
+	if p.Len() != 50 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionAdaptsPartitionsToSkew(t *testing.T) {
+	// Feed exponential-Y data: the built skeleton must put more, narrower
+	// partitions at low Y. Verify indirectly: count leaves whose region
+	// center is below the median of the domain.
+	p, err := NewFixedSample(testConfig(), store.NewMemStore(), domain(), 3000, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.I2.Generate(3000, 77)
+	for i, r := range data {
+		if err := p.Insert(r, node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Height < 2 {
+		t.Fatal("no hierarchy built")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// With β=7000 over [0,100000], ~99% of the Y mass lies below 35000.
+	entries, err := p.Search(geom.Rect2(0, 0, workload.DomainHi, 35000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2800 {
+		t.Fatalf("only %d records below Y=35000; generator broken?", len(entries))
+	}
+
+	// Build the same data into a *uniform* skeleton. A horizontal strip
+	// query in the empty high-Y half must be cheaper on the predicted
+	// skeleton, whose high-Y partitions are few and coarse, than on the
+	// uniform skeleton, which pre-allocated fine partitions there.
+	uni, err := core.NewSkeleton(testConfig(), store.NewMemStore(), core.Estimate{
+		Tuples: 3000, Domain: domain(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range data {
+		if err := uni.Insert(r, node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	strip := geom.Rect2(0, 70000, workload.DomainHi, 72000)
+	cost := func(tr *core.Tree) uint64 {
+		before := tr.Stats().SearchNodeAccesses
+		if _, err := tr.Search(strip); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Stats().SearchNodeAccesses - before
+	}
+	predCost := cost(p.Tree())
+	uniCost := cost(uni)
+	if predCost >= uniCost {
+		t.Errorf("high-Y strip: predicted skeleton cost %d not below uniform %d", predCost, uniCost)
+	}
+}

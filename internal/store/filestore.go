@@ -1,0 +1,259 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"segidx/internal/page"
+)
+
+// FileStore is a durable single-file Store.
+//
+// Layout: the file is a sequence of slots, each
+//
+//	[magic u32][state u8][pad u24][size u32][id u64] + size data bytes
+//
+// Pages are written in place. Free releases a slot to a per-size free list;
+// Allocate reuses a freed slot of exactly the requested size before
+// extending the file. Opening an existing file rebuilds the page table and
+// free lists with a single forward scan, so no separate metadata needs to
+// stay consistent with the data (a torn final slot is truncated away).
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	pages  map[page.ID]slot
+	free   map[int][]int64 // size -> slot offsets
+	next   page.ID
+	size   int64 // logical end of file
+	closed bool
+}
+
+type slot struct {
+	off  int64
+	size int
+}
+
+const (
+	slotMagic   = 0x53474958 // "SGIX"
+	slotHeader  = 4 + 1 + 3 + 4 + 8
+	stateLive   = 1
+	stateFree   = 2
+	maxPageSize = 1 << 26 // sanity bound when scanning
+)
+
+// OpenFileStore opens or creates the file store at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	fs := &FileStore{
+		f:     f,
+		pages: make(map[page.ID]slot),
+		free:  make(map[int][]int64),
+		next:  1,
+	}
+	if err := fs.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// recover scans the file to rebuild the page table and free lists.
+func (fs *FileStore) recover() error {
+	info, err := fs.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat: %w", err)
+	}
+	end := info.Size()
+	var off int64
+	hdr := make([]byte, slotHeader)
+	for off+slotHeader <= end {
+		if _, err := fs.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("store: recover read at %d: %w", off, err)
+		}
+		magic := binary.LittleEndian.Uint32(hdr[0:4])
+		state := hdr[4]
+		size := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		id := page.ID(binary.LittleEndian.Uint64(hdr[12:20]))
+		if magic != slotMagic || size <= 0 || size > maxPageSize {
+			break // torn or trailing garbage; truncate here
+		}
+		if off+slotHeader+int64(size) > end {
+			break // torn final slot
+		}
+		switch state {
+		case stateLive:
+			fs.pages[id] = slot{off: off, size: size}
+			if id >= fs.next {
+				fs.next = id + 1
+			}
+		case stateFree:
+			fs.free[size] = append(fs.free[size], off)
+		default:
+			return fmt.Errorf("store: corrupt slot state %d at offset %d", state, off)
+		}
+		off += slotHeader + int64(size)
+	}
+	fs.size = off
+	return fs.f.Truncate(off)
+}
+
+func (fs *FileStore) writeHeader(off int64, state byte, size int, id page.ID) error {
+	hdr := make([]byte, slotHeader)
+	binary.LittleEndian.PutUint32(hdr[0:4], slotMagic)
+	hdr[4] = state
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(size))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(id))
+	_, err := fs.f.WriteAt(hdr, off)
+	return err
+}
+
+// Allocate reserves a page, reusing a freed slot of identical size if one
+// exists.
+func (fs *FileStore) Allocate(size int) (page.ID, error) {
+	if size <= 0 {
+		return page.Nil, sizeMismatch(page.Nil, size, size)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return page.Nil, ErrClosed
+	}
+	id := fs.next
+	fs.next++
+	var off int64
+	if frees := fs.free[size]; len(frees) > 0 {
+		off = frees[len(frees)-1]
+		fs.free[size] = frees[:len(frees)-1]
+		// Zero the reused slot body so fresh pages read back zeroed, the
+		// same contract as newly extended slots.
+		zero := make([]byte, size)
+		if _, err := fs.f.WriteAt(zero, off+slotHeader); err != nil {
+			fs.free[size] = append(fs.free[size], off)
+			fs.next--
+			return page.Nil, fmt.Errorf("store: zero reused slot: %w", err)
+		}
+	} else {
+		off = fs.size
+		// Extend with a zeroed slot body so reads of never-written pages
+		// succeed.
+		zero := make([]byte, size)
+		if _, err := fs.f.WriteAt(zero, off+slotHeader); err != nil {
+			fs.next--
+			return page.Nil, fmt.Errorf("store: extend: %w", err)
+		}
+		fs.size = off + slotHeader + int64(size)
+	}
+	if err := fs.writeHeader(off, stateLive, size, id); err != nil {
+		fs.next--
+		return page.Nil, fmt.Errorf("store: allocate header: %w", err)
+	}
+	fs.pages[id] = slot{off: off, size: size}
+	return id, nil
+}
+
+// Write replaces the page contents in place.
+func (fs *FileStore) Write(id page.ID, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	s, ok := fs.pages[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if len(data) != s.size {
+		return sizeMismatch(id, s.size, len(data))
+	}
+	_, err := fs.f.WriteAt(data, s.off+slotHeader)
+	return err
+}
+
+// Read returns the page contents.
+func (fs *FileStore) Read(id page.ID) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	s, ok := fs.pages[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	buf := make([]byte, s.size)
+	if _, err := fs.f.ReadAt(buf, s.off+slotHeader); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("store: read %v: %w", id, err)
+	}
+	return buf, nil
+}
+
+// Free releases the page's slot for reuse by same-size allocations.
+func (fs *FileStore) Free(id page.ID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	s, ok := fs.pages[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if err := fs.writeHeader(s.off, stateFree, s.size, 0); err != nil {
+		return fmt.Errorf("store: free header: %w", err)
+	}
+	delete(fs.pages, id)
+	fs.free[s.size] = append(fs.free[s.size], s.off)
+	return nil
+}
+
+// PageSize reports the allocated size of the page.
+func (fs *FileStore) PageSize(id page.ID) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return 0, ErrClosed
+	}
+	s, ok := fs.pages[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return s.size, nil
+}
+
+// Len reports the number of live pages.
+func (fs *FileStore) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.pages)
+}
+
+// Sync flushes file contents to stable storage.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	return fs.f.Sync()
+}
+
+// Close syncs and closes the backing file.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if err := fs.f.Sync(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	return fs.f.Close()
+}

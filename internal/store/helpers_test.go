@@ -1,0 +1,34 @@
+package store
+
+import (
+	"os"
+	"testing"
+
+	pg "segidx/internal/page"
+)
+
+// pid converts a raw uint64 to a page.ID in tests.
+func pid(id uint64) pg.ID { return pg.ID(id) }
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package store provides page storage backends for segment indexes: an
+// in-memory store for experiments (the paper's metric — node accesses — is
+// machine independent) and a single-file store demonstrating durable paged
+// layout with variable page sizes, free-list reuse, and crash-tolerant
+// recovery by scanning.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"segidx/internal/page"
+)
+
+// ErrNotFound is returned when a page ID has never been allocated or has
+// been freed.
+var ErrNotFound = errors.New("store: page not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a page allocator and reader/writer. Pages have fixed individual
+// sizes chosen at allocation time (segment indexes allocate larger pages at
+// higher tree levels). Implementations must be safe for concurrent use.
+type Store interface {
+	// Allocate reserves a new page of the given size and returns its ID.
+	Allocate(size int) (page.ID, error)
+	// Write stores data as the page contents. len(data) must equal the
+	// allocated size of the page.
+	Write(id page.ID, data []byte) error
+	// Read returns the page contents. The returned slice is a copy the
+	// caller may retain.
+	Read(id page.ID) ([]byte, error)
+	// Free releases the page for reuse.
+	Free(id page.ID) error
+	// PageSize reports the allocated size of a live page.
+	PageSize(id page.ID) (int, error)
+	// Len reports the number of live pages.
+	Len() int
+	// Close releases resources. Further operations fail with ErrClosed.
+	Close() error
+}
+
+func sizeMismatch(id page.ID, want, got int) error {
+	return fmt.Errorf("store: %v size mismatch: page is %d bytes, data is %d", id, want, got)
+}

@@ -1,0 +1,139 @@
+// Package textplot renders small multi-series line charts as ASCII text,
+// used by the benchmark harness to draw the paper's graphs in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve. X values must be sorted ascending.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Chart renders series on a shared axis grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	LogX   bool
+	Series []Series
+}
+
+// Render draws the chart. Series overlapping on a cell show the marker of
+// the last series added (curves that coincide — as in the paper's graphs —
+// visually merge, which is faithful to the original figures).
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // Y axis anchored at zero like the paper's plots
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || ymax <= ymin {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		var prevCol, prevRow int = -1, -1
+		for i := range s.X {
+			col := int(math.Round((c.xval(s.X[i]) - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			grid[row][col] = marker
+			// Connect consecutive points with a sparse line.
+			if prevCol >= 0 {
+				steps := abs(col-prevCol) + abs(row-prevRow)
+				for s := 1; s < steps; s++ {
+					ic := prevCol + (col-prevCol)*s/steps
+					ir := prevRow + (row-prevRow)*s/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			prevCol, prevRow = col, row
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r := 0; r < h; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		label := "        "
+		if r == 0 || r == h-1 || r == h/2 {
+			label = fmt.Sprintf("%7.4g ", yv)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s+%s\n", "", strings.Repeat("-", w))
+	lo, hi := xmin, xmax
+	if c.LogX {
+		fmt.Fprintf(&b, "%9s%-*.4g%*.4g  (log10 %s)\n", "", w/2, lo, w/2, hi, c.XLabel)
+	} else {
+		fmt.Fprintf(&b, "%9s%-*.4g%*.4g  (%s)\n", "", w/2, lo, w/2, hi, c.XLabel)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%9sY: %s\n", "", c.YLabel)
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&b, "%9s%c %s\n", "", marker, s.Name)
+	}
+	return b.String()
+}
+
+func (c *Chart) xval(x float64) float64 {
+	if c.LogX {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

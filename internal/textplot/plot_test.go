@@ -1,0 +1,57 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "qar",
+		YLabel: "nodes",
+		LogX:   true,
+		Series: []Series{
+			{Name: "up", Marker: 'u', X: []float64{0.01, 0.1, 1, 10, 100}, Y: []float64{1, 2, 3, 4, 5}},
+			{Name: "down", Marker: 'd', X: []float64{0.01, 0.1, 1, 10, 100}, Y: []float64{5, 4, 3, 2, 1}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "u up", "d down", "log10 qar", "Y: nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "u") || !strings.Contains(out, "d") {
+		t.Error("markers absent from plot area")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 20 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart rendered: %s", out)
+	}
+}
+
+func TestRenderSinglePointAndFlatSeries(t *testing.T) {
+	c := &Chart{
+		Series: []Series{
+			{Name: "point", X: []float64{1}, Y: []float64{5}},
+		},
+	}
+	out := c.Render()
+	if strings.Contains(out, "no data") {
+		t.Error("single point treated as no data")
+	}
+	// Flat series at zero has no Y range; should not panic.
+	flat := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{0, 0}}}}
+	if out := flat.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("flat-zero chart: %q", out)
+	}
+}

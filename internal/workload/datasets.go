@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"segidx/internal/geom"
+)
+
+// Domain bounds from Section 5: "the domain of input data values was
+// between 0 and 100,000 in two dimensions".
+const (
+	DomainLo = 0.0
+	DomainHi = 100000.0
+)
+
+// Paper distribution parameters (Section 5).
+const (
+	// UniformLengthMax bounds the uniform interval-length distribution of
+	// I1, I2, and R1 ("difference between interval endpoints uniformly
+	// distributed over [0, 100]").
+	UniformLengthMax = 100.0
+	// ExpLengthBeta is the exponential interval-length parameter of I3,
+	// I4, and R2 (β = 2000).
+	ExpLengthBeta = 2000.0
+	// ExpValueBeta is the exponential Y-value / centroid parameter of I2
+	// and I4 (β = 7000).
+	ExpValueBeta = 7000.0
+)
+
+// Domain returns the experiment domain rectangle.
+func Domain() geom.Rect { return geom.Rect2(DomainLo, DomainLo, DomainHi, DomainHi) }
+
+// Dataset identifies one of the paper's input distributions.
+type Dataset int
+
+const (
+	// I1: uniform Y-values, uniform interval lengths over [0, 100].
+	I1 Dataset = iota
+	// I2: exponential Y-values (β=7000), uniform lengths.
+	I2
+	// I3: uniform Y-values, exponential lengths (β=2000).
+	I3
+	// I4: exponential Y-values, exponential lengths.
+	I4
+	// R1: rectangles, uniform centroids, uniform side lengths.
+	R1
+	// R2: rectangles, uniform centroids, exponential side lengths.
+	R2
+	// RE1: rectangles, exponential centroids, uniform side lengths — one
+	// of the runs Section 5.1 reports as performed but omits for brevity.
+	RE1
+	// RE2: rectangles, exponential centroids, exponential side lengths.
+	RE2
+)
+
+// All lists every dataset in presentation order.
+func All() []Dataset { return []Dataset{I1, I2, I3, I4, R1, R2, RE1, RE2} }
+
+// String returns the paper's name for the dataset.
+func (d Dataset) String() string {
+	switch d {
+	case I1:
+		return "I1"
+	case I2:
+		return "I2"
+	case I3:
+		return "I3"
+	case I4:
+		return "I4"
+	case R1:
+		return "R1"
+	case R2:
+		return "R2"
+	case RE1:
+		return "RE1"
+	case RE2:
+		return "RE2"
+	default:
+		return fmt.Sprintf("Dataset(%d)", int(d))
+	}
+}
+
+// Describe returns the paper's one-line description of the dataset.
+func (d Dataset) Describe() string {
+	switch d {
+	case I1:
+		return "line segments: uniform Y, uniform length U[0,100]"
+	case I2:
+		return "line segments: exponential Y (β=7000), uniform length U[0,100]"
+	case I3:
+		return "line segments: uniform Y, exponential length (β=2000)"
+	case I4:
+		return "line segments: exponential Y (β=7000), exponential length (β=2000)"
+	case R1:
+		return "rectangles: uniform centroids, uniform sides U[0,100]"
+	case R2:
+		return "rectangles: uniform centroids, exponential sides (β=2000)"
+	case RE1:
+		return "rectangles: exponential centroids (β=7000), uniform sides U[0,100]"
+	case RE2:
+		return "rectangles: exponential centroids (β=7000), exponential sides (β=2000)"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseDataset resolves a dataset by its paper name.
+func ParseDataset(s string) (Dataset, error) {
+	for _, d := range All() {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown dataset %q", s)
+}
+
+// IsInterval reports whether the dataset consists of horizontal line
+// segments (degenerate Y extent) rather than rectangles.
+func (d Dataset) IsInterval() bool { return d <= I4 }
+
+// Generate produces count records of the dataset in insertion order,
+// deterministically for the seed. The records are in random order already
+// (centers are drawn independently), matching the paper's "inserted in
+// random order".
+func (d Dataset) Generate(count int, seed uint64) []geom.Rect {
+	rng := NewRNG(seed ^ uint64(d)<<32)
+	out := make([]geom.Rect, count)
+	for i := range out {
+		out[i] = d.next(rng)
+	}
+	return out
+}
+
+func (d Dataset) next(rng *RNG) geom.Rect {
+	switch d {
+	case I1:
+		return segment(rng.Uniform(DomainLo, DomainHi), rng.Uniform(DomainLo, DomainHi), rng.Float64()*UniformLengthMax)
+	case I2:
+		return segment(rng.Exp(ExpValueBeta, DomainHi), rng.Uniform(DomainLo, DomainHi), rng.Float64()*UniformLengthMax)
+	case I3:
+		return segment(rng.Uniform(DomainLo, DomainHi), rng.Uniform(DomainLo, DomainHi), rng.Exp(ExpLengthBeta, 0))
+	case I4:
+		return segment(rng.Exp(ExpValueBeta, DomainHi), rng.Uniform(DomainLo, DomainHi), rng.Exp(ExpLengthBeta, 0))
+	case R1:
+		return box(rng.Uniform(DomainLo, DomainHi), rng.Uniform(DomainLo, DomainHi),
+			rng.Float64()*UniformLengthMax, rng.Float64()*UniformLengthMax)
+	case R2:
+		return box(rng.Uniform(DomainLo, DomainHi), rng.Uniform(DomainLo, DomainHi),
+			rng.Exp(ExpLengthBeta, 0), rng.Exp(ExpLengthBeta, 0))
+	case RE1:
+		return box(rng.Exp(ExpValueBeta, DomainHi), rng.Exp(ExpValueBeta, DomainHi),
+			rng.Float64()*UniformLengthMax, rng.Float64()*UniformLengthMax)
+	case RE2:
+		return box(rng.Exp(ExpValueBeta, DomainHi), rng.Exp(ExpValueBeta, DomainHi),
+			rng.Exp(ExpLengthBeta, 0), rng.Exp(ExpLengthBeta, 0))
+	default:
+		panic(fmt.Sprintf("workload: unknown dataset %d", int(d)))
+	}
+}
+
+// segment builds a horizontal line segment at Y value y, centered at cx,
+// with the given length, clipped to the domain.
+func segment(y, cx, length float64) geom.Rect {
+	lo := clampDomain(cx - length/2)
+	hi := clampDomain(cx + length/2)
+	return geom.Rect2(lo, y, hi, y)
+}
+
+// box builds a rectangle centered at (cx, cy) with the given side lengths,
+// clipped to the domain.
+func box(cx, cy, w, h float64) geom.Rect {
+	return geom.Rect2(
+		clampDomain(cx-w/2), clampDomain(cy-h/2),
+		clampDomain(cx+w/2), clampDomain(cy+h/2),
+	)
+}
+
+func clampDomain(v float64) float64 {
+	if v < DomainLo {
+		return DomainLo
+	}
+	if v > DomainHi {
+		return DomainHi
+	}
+	return v
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"math"
+
+	"segidx/internal/geom"
+)
+
+// QueryArea is the fixed area of every search rectangle (Section 5:
+// "a query rectangle of area 1,000,000").
+const QueryArea = 1e6
+
+// QARs lists the paper's query aspect ratios in presentation order.
+func QARs() []float64 {
+	return []float64{0.0001, 0.001, 0.01, 0.1, 0.2, 0.5, 1, 2, 5, 10, 100, 1000, 10000}
+}
+
+// QueriesPerQAR is the paper's sample size: "For each QAR, 100 search
+// rectangles were generated".
+const QueriesPerQAR = 100
+
+// Query builds one search rectangle of area QueryArea with the given
+// horizontal-to-vertical aspect ratio, centered at (cx, cy). The rectangle
+// may extend beyond the domain, as in the paper ("randomly centered over
+// the domain").
+func Query(cx, cy, qar float64) geom.Rect {
+	w := math.Sqrt(QueryArea * qar)
+	h := math.Sqrt(QueryArea / qar)
+	return geom.Rect2(cx-w/2, cy-h/2, cx+w/2, cy+h/2)
+}
+
+// Queries generates count query rectangles with the given QAR, centroids
+// uniform over the domain, deterministically for the seed.
+func Queries(qar float64, count int, seed uint64) []geom.Rect {
+	rng := NewRNG(seed ^ math.Float64bits(qar))
+	out := make([]geom.Rect, count)
+	for i := range out {
+		out[i] = Query(rng.Uniform(DomainLo, DomainHi), rng.Uniform(DomainLo, DomainHi), qar)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package workload generates the paper's synthetic datasets and queries
+// (Section 5): six input distributions over the domain [0, 100000]² —
+// interval data I1–I4 (Y points, X intervals) and rectangle data R1–R2 —
+// plus the exponential-centroid rectangle variants the paper ran but
+// omitted for brevity, and the query workload: rectangles of area 10⁶
+// whose horizontal-to-vertical aspect ratio (QAR) sweeps 10⁻⁴ … 10⁴.
+//
+// Generation is deterministic for a given seed across platforms and Go
+// releases: the package uses its own splitmix64 generator rather than
+// math/rand, whose stream is not guaranteed stable between versions.
+package workload
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). Not cryptographically secure; intended for reproducible
+// experiment workloads.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent-looking
+// streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Exp returns an exponentially distributed value with mean beta, resampled
+// until it falls below limit (limit <= 0 disables the bound). The paper's
+// Y-value distributions use beta = 7000 over a 100000 domain, so the
+// truncation affects well under 0.1% of draws and preserves the shape.
+func (r *RNG) Exp(beta, limit float64) float64 {
+	for {
+		u := r.Float64()
+		// Guard against log(0).
+		if u >= 1 {
+			continue
+		}
+		v := -beta * math.Log(1-u)
+		if limit <= 0 || v < limit {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm fills a permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

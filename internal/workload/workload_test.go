@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(2)
+	same := 0
+	a2 := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGUniformMoments(t *testing.T) {
+	rng := NewRNG(3)
+	n := 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	varr := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %g", mean)
+	}
+	if math.Abs(varr-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %g", varr)
+	}
+}
+
+func TestRNGExpMoments(t *testing.T) {
+	rng := NewRNG(4)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Exp(2000, 0)
+		if v < 0 {
+			t.Fatalf("Exp negative: %g", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2000) > 50 {
+		t.Errorf("exp mean = %g, want ~2000", mean)
+	}
+}
+
+func TestRNGExpTruncation(t *testing.T) {
+	rng := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		if v := rng.Exp(7000, DomainHi); v >= DomainHi {
+			t.Fatalf("truncated Exp returned %g >= %g", v, DomainHi)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRNG(6)
+	p := rng.Perm(1000)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDatasetsShapes(t *testing.T) {
+	const n = 5000
+	for _, d := range All() {
+		recs := d.Generate(n, 42)
+		if len(recs) != n {
+			t.Fatalf("%v: generated %d", d, len(recs))
+		}
+		domain := Domain()
+		var totalXLen, totalYLen float64
+		for i, r := range recs {
+			if !r.Valid() {
+				t.Fatalf("%v record %d invalid: %v", d, i, r)
+			}
+			if !domain.Contains(r) {
+				t.Fatalf("%v record %d escapes domain: %v", d, i, r)
+			}
+			if d.IsInterval() && r.Length(1) != 0 {
+				t.Fatalf("%v record %d has Y extent %g, want segment", d, i, r.Length(1))
+			}
+			totalXLen += r.Length(0)
+			totalYLen += r.Length(1)
+		}
+		meanX := totalXLen / n
+		switch d {
+		case I1, I2:
+			// Uniform [0,100] lengths: mean ~50 (minus clipping, negligible).
+			if meanX < 40 || meanX > 60 {
+				t.Errorf("%v mean X length = %g, want ~50", d, meanX)
+			}
+		case I3, I4:
+			// Exponential β=2000 (clipped at the domain edges shortens a
+			// few): mean well above the uniform case.
+			if meanX < 1500 || meanX > 2500 {
+				t.Errorf("%v mean X length = %g, want ~2000", d, meanX)
+			}
+		}
+		if d == R2 {
+			if meanY := totalYLen / n; meanY < 1500 || meanY > 2500 {
+				t.Errorf("R2 mean Y length = %g, want ~2000", meanY)
+			}
+		}
+	}
+}
+
+func TestDatasetYSkew(t *testing.T) {
+	const n = 20000
+	low := func(d Dataset) float64 {
+		recs := d.Generate(n, 7)
+		count := 0
+		for _, r := range recs {
+			if r.Center(1) < 10000 {
+				count++
+			}
+		}
+		return float64(count) / n
+	}
+	// Uniform Y: ~10% below 10000. Exponential β=7000: 1-exp(-10/7) ~76%.
+	if f := low(I1); f < 0.07 || f > 0.13 {
+		t.Errorf("I1 low-Y fraction = %g, want ~0.10", f)
+	}
+	if f := low(I2); f < 0.68 || f > 0.84 {
+		t.Errorf("I2 low-Y fraction = %g, want ~0.76", f)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := I3.Generate(100, 9)
+	b := I3.Generate(100, 9)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed generated different data")
+		}
+	}
+	c := I3.Generate(100, 10)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds generated %d identical records", same)
+	}
+}
+
+func TestQueriesShape(t *testing.T) {
+	for _, qar := range QARs() {
+		qs := Queries(qar, 100, 11)
+		if len(qs) != 100 {
+			t.Fatalf("qar %g: %d queries", qar, len(qs))
+		}
+		for _, q := range qs {
+			area := q.Area()
+			if math.Abs(area-QueryArea) > 1 {
+				t.Fatalf("qar %g: area %g", qar, area)
+			}
+			ar := q.AspectRatio()
+			if math.Abs(ar-qar)/qar > 1e-9 {
+				t.Fatalf("qar %g: aspect %g", qar, ar)
+			}
+		}
+	}
+}
+
+func TestQARListMatchesPaper(t *testing.T) {
+	want := []float64{0.0001, 0.001, 0.01, 0.1, 0.2, 0.5, 1, 2, 5, 10, 100, 1000, 10000}
+	got := QARs()
+	if len(got) != len(want) {
+		t.Fatalf("QARs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("QARs[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseDataset(t *testing.T) {
+	for _, d := range All() {
+		got, err := ParseDataset(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDataset(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDataset("X9"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if I4.Describe() == "unknown" || R2.Describe() == "unknown" {
+		t.Error("missing descriptions")
+	}
+}

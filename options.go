@@ -1,0 +1,172 @@
+package segidx
+
+import (
+	"fmt"
+
+	"segidx/internal/core"
+	"segidx/internal/store"
+)
+
+// Option customizes index construction.
+type Option func(*options) error
+
+type options struct {
+	cfg  core.Config
+	st   store.Store
+	path string
+}
+
+func resolve(opts []Option) (*options, error) {
+	o := &options{cfg: core.DefaultConfig()}
+	// Paper defaults for skeleton adaptation; active only on skeleton
+	// indexes (dynamic constructors disable coalescing).
+	o.cfg.CoalesceEvery = 1000
+	o.cfg.CoalesceCandidates = 10
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	if o.st != nil && o.path != "" {
+		return nil, fmt.Errorf("segidx: WithStore and WithFile are mutually exclusive")
+	}
+	return o, nil
+}
+
+// openStore returns the configured page store and whether the index owns
+// (and must close) it.
+func (o *options) openStore() (store.Store, bool, error) {
+	if o.st != nil {
+		return o.st, false, nil
+	}
+	if o.path != "" {
+		fs, err := store.OpenFileStore(o.path)
+		if err != nil {
+			return nil, false, err
+		}
+		return fs, true, nil
+	}
+	return store.NewMemStore(), true, nil
+}
+
+// WithDims sets the dimensionality K of the indexed rectangles
+// (default 2, the paper's experimental setting; 1 through 8 supported).
+func WithDims(k int) Option {
+	return func(o *options) error {
+		o.cfg.Dims = k
+		return nil
+	}
+}
+
+// WithLeafNodeBytes sets the page size of leaf nodes (default 1024, the
+// paper's setting).
+func WithLeafNodeBytes(n int) Option {
+	return func(o *options) error {
+		o.cfg.Sizes.LeafBytes = n
+		return nil
+	}
+}
+
+// WithNodeGrowth sets the per-level page size multiplier (default 2: node
+// size doubles at each higher level, the paper's tactic 2; 1 keeps all
+// nodes the same size).
+func WithNodeGrowth(g int) Option {
+	return func(o *options) error {
+		o.cfg.Sizes.Growth = g
+		return nil
+	}
+}
+
+// WithBranchReserve sets the fraction of non-leaf payload reserved for
+// branches on SR-Trees (default 2/3, the paper's setting; the remainder
+// holds spanning index records).
+func WithBranchReserve(f float64) Option {
+	return func(o *options) error {
+		o.cfg.BranchReserve = f
+		return nil
+	}
+}
+
+// WithMinFill sets the minimum node occupancy fraction enforced by splits
+// and deletion (default 0.4).
+func WithMinFill(f float64) Option {
+	return func(o *options) error {
+		o.cfg.MinFillFrac = f
+		return nil
+	}
+}
+
+// WithQuadraticSplit selects Guttman's quadratic split (the default and
+// the paper's algorithm).
+func WithQuadraticSplit() Option {
+	return func(o *options) error {
+		o.cfg.Split = core.SplitQuadratic
+		return nil
+	}
+}
+
+// WithLinearSplit selects Guttman's linear-cost split.
+func WithLinearSplit() Option {
+	return func(o *options) error {
+		o.cfg.Split = core.SplitLinear
+		return nil
+	}
+}
+
+// WithLeafPromotion controls whether leaf records spanning a post-split
+// leaf are promoted to the parent (default true; see DESIGN.md, ablation
+// A5).
+func WithLeafPromotion(enabled bool) Option {
+	return func(o *options) error {
+		o.cfg.LeafPromotion = enabled
+		return nil
+	}
+}
+
+// WithCoalescing tunes skeleton-index coalescing: scan for mergeable
+// sibling leaves after every `every` insertions among the `candidates`
+// least-frequently-modified leaves (paper: 1000 and 10). every == 0
+// disables coalescing. Only skeleton indexes coalesce.
+func WithCoalescing(every, candidates int) Option {
+	return func(o *options) error {
+		o.cfg.CoalesceEvery = every
+		o.cfg.CoalesceCandidates = candidates
+		return nil
+	}
+}
+
+// WithPoolBytes caps buffer pool residency in bytes (default 0 =
+// unlimited).
+func WithPoolBytes(n int) Option {
+	return func(o *options) error {
+		o.cfg.PoolBytes = n
+		return nil
+	}
+}
+
+// WithFile stores index pages in a single file at path. The index owns the
+// file handle; Close releases it.
+func WithFile(path string) Option {
+	return func(o *options) error {
+		if path == "" {
+			return fmt.Errorf("segidx: empty file path")
+		}
+		o.path = path
+		return nil
+	}
+}
+
+// WithStore uses a caller-provided page store. The caller keeps ownership:
+// Close does not close it. Intended for tests and custom backends.
+func WithStore(st store.Store) Option {
+	return func(o *options) error {
+		if st == nil {
+			return fmt.Errorf("segidx: nil store")
+		}
+		o.st = st
+		return nil
+	}
+}

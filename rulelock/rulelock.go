@@ -1,0 +1,237 @@
+// Package rulelock manages rule predicates over a one-dimensional
+// attribute domain using a segment index, the application sketched in
+// Section 2.2 of the paper: a rule may trigger when an attribute value
+// falls within an interval (EMP.salary > 10k AND <= 20k) or equals an
+// exact value (EMP.salary = 100k). Storing each predicate's range as an
+// index record makes "which rules does this value trigger?" a stabbing
+// query, with interval and point predicates coexisting in one index — the
+// paper's third motivating goal for segment indexes.
+//
+// The paper manages rule locks via index stub records, promoting
+// ("escalating") a lock to a parent node when it spans everything beneath
+// it. In this implementation a rule's predicate interval is itself the
+// index record, and the SR-Tree's spanning-record mechanics perform the
+// escalation: a predicate wide enough to span an index subtree is stored
+// in a non-leaf node. Escalated reports which rules are currently held at
+// which level.
+package rulelock
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"segidx"
+)
+
+// RuleID identifies a registered rule.
+type RuleID uint64
+
+// Rule is a registered predicate with its action payload.
+type Rule struct {
+	ID   RuleID
+	Low  float64 // inclusive lower bound of the predicate interval
+	High float64 // inclusive upper bound; == Low for exact-value rules
+	// Action is an opaque payload returned on trigger (e.g. the rule
+	// body to execute).
+	Action string
+}
+
+// IsPoint reports whether the rule triggers on an exact value.
+func (r Rule) IsPoint() bool { return r.Low == r.High }
+
+// ErrNotFound is returned when dropping an unknown rule.
+var ErrNotFound = errors.New("rulelock: no such rule")
+
+// Manager stores rule predicates in a one-dimensional SR-Tree. Safe for
+// concurrent use by one writer and multiple readers.
+type Manager struct {
+	mu    sync.RWMutex
+	idx   *segidx.Index
+	rules map[RuleID]Rule
+	next  RuleID
+}
+
+// NewManager creates an empty rule-lock manager.
+func NewManager(opts ...segidx.Option) (*Manager, error) {
+	base := []segidx.Option{segidx.WithDims(1), segidx.WithLeafNodeBytes(512)}
+	idx, err := segidx.NewSRTree(append(base, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{idx: idx, rules: make(map[RuleID]Rule), next: 1}, nil
+}
+
+// Register installs a rule triggering for attribute values in [low, high]
+// (low == high registers an exact-value rule) and returns its ID.
+func (m *Manager) Register(low, high float64, action string) (RuleID, error) {
+	if math.IsNaN(low) || math.IsNaN(high) {
+		return 0, fmt.Errorf("rulelock: NaN predicate bound")
+	}
+	if high < low {
+		return 0, fmt.Errorf("rulelock: inverted predicate [%g, %g]", low, high)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.next
+	m.next++
+	rect, err := segidx.NewRect([]float64{low}, []float64{high})
+	if err != nil {
+		return 0, err
+	}
+	if err := m.idx.Insert(rect, segidx.RecordID(id)); err != nil {
+		return 0, err
+	}
+	m.rules[id] = Rule{ID: id, Low: low, High: high, Action: action}
+	return id, nil
+}
+
+// Drop removes a rule.
+func (m *Manager) Drop(id RuleID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rule, ok := m.rules[id]
+	if !ok {
+		return ErrNotFound
+	}
+	rect, err := segidx.NewRect([]float64{rule.Low}, []float64{rule.High})
+	if err != nil {
+		return err
+	}
+	n, err := m.idx.Delete(segidx.RecordID(id), rect)
+	if err != nil {
+		return err
+	}
+	if n != 1 {
+		return fmt.Errorf("rulelock: rule %d present in catalog but not in index", id)
+	}
+	delete(m.rules, id)
+	return nil
+}
+
+// Triggered returns the rules whose predicate contains the value, in ID
+// order.
+func (m *Manager) Triggered(value float64) ([]Rule, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	entries, err := m.idx.Stab(value)
+	if err != nil {
+		return nil, err
+	}
+	return m.resolve(entries), nil
+}
+
+// TriggeredRange returns the rules that could trigger for some value in
+// [low, high], in ID order. Useful for conflict analysis ("which rules
+// are affected if salaries in this band change?").
+func (m *Manager) TriggeredRange(low, high float64) ([]Rule, error) {
+	if high < low {
+		return nil, fmt.Errorf("rulelock: inverted range [%g, %g]", low, high)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rect, err := segidx.NewRect([]float64{low}, []float64{high})
+	if err != nil {
+		return nil, err
+	}
+	entries, err := m.idx.Search(rect)
+	if err != nil {
+		return nil, err
+	}
+	return m.resolve(entries), nil
+}
+
+// Covering returns the rules whose predicate covers the whole range
+// [low, high] — every value in the range triggers them.
+func (m *Manager) Covering(low, high float64) ([]Rule, error) {
+	if high < low {
+		return nil, fmt.Errorf("rulelock: inverted range [%g, %g]", low, high)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rect, err := segidx.NewRect([]float64{low}, []float64{high})
+	if err != nil {
+		return nil, err
+	}
+	entries, err := m.idx.SearchContaining(rect)
+	if err != nil {
+		return nil, err
+	}
+	return m.resolve(entries), nil
+}
+
+func (m *Manager) resolve(entries []segidx.Entry) []Rule {
+	out := make([]Rule, 0, len(entries))
+	for _, e := range entries {
+		if rule, ok := m.rules[RuleID(e.ID)]; ok {
+			out = append(out, rule)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Escalation reports at which index level a rule's predicate is held.
+type Escalation struct {
+	Rule  Rule
+	Level int // 0 = leaf; >= 1 means the lock was escalated to a non-leaf node
+}
+
+// Escalated returns, for every rule, the highest index level holding one
+// of its predicate portions — the paper's lock-escalation view: wide
+// predicates percolate to non-leaf nodes and are checked once per subtree
+// rather than once per leaf record. Sorted by level (descending), then ID.
+func (m *Manager) Escalated() ([]Escalation, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	highest := make(map[RuleID]int, len(m.rules))
+	err := m.idx.VisitPortions(func(level int, e segidx.Entry) bool {
+		id := RuleID(e.ID)
+		if level > highest[id] {
+			highest[id] = level
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Escalation, 0, len(m.rules))
+	for id, rule := range m.rules {
+		out = append(out, Escalation{Rule: rule, Level: highest[id]})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Level != out[b].Level {
+			return out[a].Level > out[b].Level
+		}
+		return out[a].Rule.ID < out[b].Rule.ID
+	})
+	return out, nil
+}
+
+// Len reports the number of registered rules.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rules)
+}
+
+// Rules returns all registered rules in ID order.
+func (m *Manager) Rules() []Rule {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Rule, 0, len(m.rules))
+	for _, r := range m.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Close releases the underlying index.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idx.Close()
+}

@@ -1,0 +1,252 @@
+package rulelock
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"segidx/internal/workload"
+)
+
+func mustRegister(t *testing.T, m *Manager, low, high float64, action string) RuleID {
+	t.Helper()
+	id, err := m.Register(low, high, action)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func ruleIDs(rules []Rule) []RuleID {
+	out := make([]RuleID, len(rules))
+	for i, r := range rules {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func sameIDs(a []RuleID, b ...RuleID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperExampleRules(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Section 2.2: Rule 1 on (10k, 20k], Rule 2 on exactly 100k. Closed
+	// intervals here; the open lower bound is the caller's concern.
+	r1 := mustRegister(t, m, 10_000, 20_000, "at least 1 window")
+	r2 := mustRegister(t, m, 100_000, 100_000, "at least 4 windows")
+
+	got, err := m.Triggered(15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(ruleIDs(got), r1) {
+		t.Fatalf("Triggered(15000) = %v", got)
+	}
+	got, err = m.Triggered(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(ruleIDs(got), r2) {
+		t.Fatalf("Triggered(100000) = %v", got)
+	}
+	if !got[0].IsPoint() {
+		t.Error("exact-value rule not reported as point")
+	}
+	got, err = m.Triggered(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Triggered(50000) = %v", got)
+	}
+	// Boundaries are inclusive.
+	got, _ = m.Triggered(20_000)
+	if !sameIDs(ruleIDs(got), r1) {
+		t.Fatalf("boundary trigger = %v", got)
+	}
+}
+
+func TestRangeAndCoveringQueries(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	narrow := mustRegister(t, m, 40, 60, "narrow")
+	wide := mustRegister(t, m, 0, 1000, "wide")
+	point := mustRegister(t, m, 55, 55, "point")
+
+	got, err := m.TriggeredRange(50, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(ruleIDs(got), narrow, wide, point) {
+		t.Fatalf("TriggeredRange = %v", ruleIDs(got))
+	}
+	cov, err := m.Covering(45, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(ruleIDs(cov), narrow, wide) {
+		t.Fatalf("Covering = %v", ruleIDs(cov))
+	}
+	if _, err := m.TriggeredRange(10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := m.Covering(10, 5); err == nil {
+		t.Error("inverted covering range accepted")
+	}
+}
+
+func TestDropRules(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id := mustRegister(t, m, 1, 10, "x")
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.Drop(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after drop = %d", m.Len())
+	}
+	got, _ := m.Triggered(5)
+	if len(got) != 0 {
+		t.Fatalf("dropped rule still triggers: %v", got)
+	}
+	if err := m.Drop(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double drop = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Register(10, 5, "inv"); err == nil {
+		t.Error("inverted predicate accepted")
+	}
+	if _, err := m.Register(math.NaN(), 5, "nan"); err == nil {
+		t.Error("NaN predicate accepted")
+	}
+}
+
+func TestEscalationOfWidePredicates(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Many narrow rules force the index to grow; a domain-wide rule's
+	// predicate spans subtrees and must be escalated to a non-leaf node.
+	rng := workload.NewRNG(5)
+	for i := 0; i < 400; i++ {
+		lo := rng.Float64() * 99_000
+		mustRegister(t, m, lo, lo+rng.Float64()*200, "narrow")
+	}
+	wideID := mustRegister(t, m, 0, 100_000, "audit everything")
+
+	esc, err := m.Escalated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[RuleID]int)
+	maxLevel := 0
+	for _, e := range esc {
+		byID[e.Rule.ID] = e.Level
+		if e.Level > maxLevel {
+			maxLevel = e.Level
+		}
+	}
+	if maxLevel == 0 {
+		t.Fatal("no predicate was escalated to a non-leaf node")
+	}
+	if byID[wideID] == 0 {
+		t.Error("domain-wide predicate not escalated")
+	}
+	// Output is sorted by level descending.
+	for i := 1; i < len(esc); i++ {
+		if esc[i].Level > esc[i-1].Level {
+			t.Fatal("escalations not sorted by level")
+		}
+	}
+	// The wide rule still triggers correctly for arbitrary values.
+	for _, v := range []float64{0, 42_000, 100_000} {
+		got, err := m.Triggered(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range got {
+			if r.ID == wideID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("escalated rule missing for value %g", v)
+		}
+	}
+}
+
+func TestManyRulesMatchBruteForce(t *testing.T) {
+	m, err := NewManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	rng := workload.NewRNG(9)
+	type pred struct {
+		id        RuleID
+		low, high float64
+	}
+	var preds []pred
+	for i := 0; i < 1000; i++ {
+		lo := rng.Float64() * 100_000
+		width := 0.0
+		switch rng.Intn(3) {
+		case 0: // point rule
+		case 1:
+			width = rng.Float64() * 500
+		default:
+			width = rng.Exp(5000, 50_000)
+		}
+		id := mustRegister(t, m, lo, lo+width, "r")
+		preds = append(preds, pred{id, lo, lo + width})
+	}
+	for q := 0; q < 300; q++ {
+		v := rng.Float64() * 110_000
+		got, err := m.Triggered(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range preds {
+			if v >= p.low && v <= p.high {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("value %g: %d rules, want %d", v, len(got), want)
+		}
+	}
+}

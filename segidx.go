@@ -1,0 +1,357 @@
+package segidx
+
+import (
+	"errors"
+	"fmt"
+
+	"segidx/internal/core"
+	"segidx/internal/geom"
+	"segidx/internal/histogram"
+	"segidx/internal/node"
+	"segidx/internal/skeleton"
+	"segidx/internal/store"
+)
+
+// Rect is a closed axis-aligned rectangle in K >= 1 dimensions. Points and
+// intervals are rectangles with degenerate extents.
+type Rect = geom.Rect
+
+// RecordID identifies a logical record. IDs must be unique per logical
+// record: when the index cuts a record into spanning and remnant portions,
+// the shared ID is what deduplicates search results and drives deletion.
+type RecordID = node.RecordID
+
+// Entry is one search result.
+type Entry = core.Entry
+
+// Stats holds tree activity counters; see core.Stats for field docs.
+type Stats = core.Stats
+
+// Report is a structural quality report; see (*Index).Analyze.
+type Report = core.Report
+
+// Histogram estimates a per-dimension value distribution for skeleton
+// construction.
+type Histogram = histogram.Histogram
+
+// NewHistogram creates an empty histogram over [lo, hi] with the given
+// number of bins.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	return histogram.New(lo, hi, bins)
+}
+
+// Box builds a 2-dimensional rectangle [xlo, xhi] x [ylo, yhi]. It panics
+// on inverted extents; use NewRect for checked construction.
+func Box(xlo, ylo, xhi, yhi float64) Rect { return geom.Rect2(xlo, ylo, xhi, yhi) }
+
+// Interval builds the paper's "time range data" shape: an interval
+// [lo, hi] in dimension 0 crossed with a point value in dimension 1.
+func Interval(lo, hi, at float64) Rect { return geom.Rect2(lo, at, hi, at) }
+
+// Point builds a degenerate rectangle containing exactly one point.
+func Point(coords ...float64) Rect { return geom.Point(coords...) }
+
+// NewRect builds a validated rectangle from min/max corners.
+func NewRect(min, max []float64) (Rect, error) { return geom.NewRect(min, max) }
+
+// engine is the operation set shared by core.Tree and skeleton.Predictor.
+type engine interface {
+	Insert(Rect, RecordID) error
+	Delete(RecordID, Rect) (int, error)
+	DeleteWhere(Rect, func(Entry) bool) (int, error)
+	Search(Rect) ([]Entry, error)
+	SearchFunc(Rect, func(Entry) bool) error
+	SearchWithin(Rect) ([]Entry, error)
+	SearchContaining(Rect) ([]Entry, error)
+	VisitPortions(func(level int, e Entry) bool) error
+	Count(Rect) (int, error)
+	Len() int
+	Height() int
+	NodeCount() int
+	Stats() Stats
+	Flush() error
+	CheckInvariants() error
+	Analyze() (*Report, error)
+}
+
+// Index is a segment index: one of R-Tree, SR-Tree, Skeleton R-Tree, or
+// Skeleton SR-Tree. Safe for one writer and concurrent readers.
+type Index struct {
+	eng   engine
+	st    store.Store
+	kind  string
+	owned bool // whether Close should close the store
+}
+
+// Kind reports which index type this is ("r-tree", "sr-tree",
+// "skeleton-r-tree", "skeleton-sr-tree").
+func (x *Index) Kind() string { return x.kind }
+
+// Insert adds a record. The rectangle's dimensionality must match the
+// index; IDs must be unique per logical record.
+func (x *Index) Insert(r Rect, id RecordID) error { return x.eng.Insert(r, id) }
+
+// Delete removes the record with the given ID. hint must cover the
+// rectangle originally inserted (passing that rectangle is ideal); it
+// bounds the search for the record's portions. Returns the number of
+// logical records removed (0 or 1).
+func (x *Index) Delete(id RecordID, hint Rect) (int, error) { return x.eng.Delete(id, hint) }
+
+// DeleteWhere removes every logical record that has a stored portion
+// intersecting query and satisfying pred (nil matches everything),
+// returning the number removed. Useful for retention policies ("drop all
+// history before 1990").
+func (x *Index) DeleteWhere(query Rect, pred func(Entry) bool) (int, error) {
+	return x.eng.DeleteWhere(query, pred)
+}
+
+// Search returns the records intersecting query, deduplicated by ID.
+func (x *Index) Search(query Rect) ([]Entry, error) { return x.eng.Search(query) }
+
+// SearchFunc streams every stored portion intersecting query; fn returning
+// false stops early. Cut records may be visited once per portion.
+func (x *Index) SearchFunc(query Rect, fn func(Entry) bool) error {
+	return x.eng.SearchFunc(query, fn)
+}
+
+// Count returns the number of logical records intersecting query.
+func (x *Index) Count(query Rect) (int, error) { return x.eng.Count(query) }
+
+// VisitPortions walks every stored record portion with the tree level it
+// is stored at (0 = leaf; higher levels are spanning index records). For
+// structural inspection; fn returning false stops the walk.
+func (x *Index) VisitPortions(fn func(level int, e Entry) bool) error {
+	return x.eng.VisitPortions(fn)
+}
+
+// Stab returns the records containing the given point — the stabbing
+// query central to interval indexing ("all intervals that contain a given
+// point", Section 2.1.1).
+func (x *Index) Stab(coords ...float64) ([]Entry, error) {
+	return x.SearchContaining(Point(coords...))
+}
+
+// SearchWithin returns the records entirely contained in query,
+// deduplicated by ID.
+func (x *Index) SearchWithin(query Rect) ([]Entry, error) {
+	return x.eng.SearchWithin(query)
+}
+
+// SearchContaining returns the records that entirely contain query (the
+// generalized stabbing query). Cut records are reassembled before the
+// containment test.
+func (x *Index) SearchContaining(query Rect) ([]Entry, error) {
+	return x.eng.SearchContaining(query)
+}
+
+// Len reports the number of logical records stored.
+func (x *Index) Len() int { return x.eng.Len() }
+
+// Height reports the number of tree levels.
+func (x *Index) Height() int { return x.eng.Height() }
+
+// NodeCount reports the number of index nodes (pages).
+func (x *Index) NodeCount() int { return x.eng.NodeCount() }
+
+// Stats returns a snapshot of activity counters. The paper's cost metric —
+// average index nodes accessed per search — is the delta of
+// SearchNodeAccesses over the delta of Searches.
+func (x *Index) Stats() Stats { return x.eng.Stats() }
+
+// Flush persists dirty nodes and metadata to the page store.
+func (x *Index) Flush() error { return x.eng.Flush() }
+
+// CheckInvariants validates the entire structure; see core.Tree.
+func (x *Index) CheckInvariants() error { return x.eng.CheckInvariants() }
+
+// Analyze computes a structural report: per-level node counts, coverage
+// area, sibling overlap, aspect ratios, and occupancy.
+func (x *Index) Analyze() (*Report, error) { return x.eng.Analyze() }
+
+// Close flushes and releases the index and, when the index owns its store
+// (default in-memory store or WithFile), closes the store.
+func (x *Index) Close() error {
+	if err := x.eng.Flush(); err != nil {
+		if x.owned {
+			x.st.Close()
+		}
+		return err
+	}
+	if x.owned {
+		return x.st.Close()
+	}
+	return nil
+}
+
+// SkeletonEstimate describes the expected input for skeleton
+// pre-construction (Section 4 of the paper).
+type SkeletonEstimate struct {
+	// Tuples is the expected number of records.
+	Tuples int
+	// Domain is the value domain in every dimension.
+	Domain Rect
+	// Histograms optionally gives the expected distribution per
+	// dimension (nil entries mean uniform). Ignored when PredictFraction
+	// is set.
+	Histograms []*Histogram
+	// PredictFraction, when positive, enables distribution prediction:
+	// the index buffers this fraction of Tuples (the paper recommends
+	// 0.05–0.10), computes histograms from the sample, and then builds
+	// the skeleton.
+	PredictFraction float64
+}
+
+// NewRTree creates a dynamic R-Tree (the paper's baseline, Guttman 1984)
+// over a paged store.
+func NewRTree(opts ...Option) (*Index, error) {
+	return build("r-tree", false, nil, opts)
+}
+
+// NewSRTree creates a dynamic SR-Tree: an R-Tree extended with spanning
+// index records in non-leaf nodes (Section 3).
+func NewSRTree(opts ...Option) (*Index, error) {
+	return build("sr-tree", true, nil, opts)
+}
+
+// NewSkeletonRTree creates a pre-constructed R-Tree that adapts to the
+// input by node splitting and coalescing (Section 4).
+func NewSkeletonRTree(est SkeletonEstimate, opts ...Option) (*Index, error) {
+	return build("skeleton-r-tree", false, &est, opts)
+}
+
+// NewSkeletonSRTree creates a pre-constructed SR-Tree — the paper's best
+// performing index on skewed interval data.
+func NewSkeletonSRTree(est SkeletonEstimate, opts ...Option) (*Index, error) {
+	return build("skeleton-sr-tree", true, &est, opts)
+}
+
+func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*Index, error) {
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.cfg
+	cfg.Spanning = spanning
+	if est == nil {
+		cfg.CoalesceEvery = 0 // coalescing is a skeleton-index adaptation
+	}
+	st, owned, err := o.openStore()
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Index, error) {
+		if owned {
+			st.Close()
+		}
+		return nil, err
+	}
+	if est == nil {
+		t, err := core.New(cfg, st)
+		if err != nil {
+			return fail(err)
+		}
+		return &Index{eng: t, st: st, kind: kind, owned: owned}, nil
+	}
+	if est.Tuples < 1 {
+		return fail(fmt.Errorf("segidx: skeleton estimate of %d tuples", est.Tuples))
+	}
+	if est.PredictFraction > 0 {
+		p, err := skeleton.New(cfg, st, est.Domain, est.Tuples, est.PredictFraction)
+		if err != nil {
+			return fail(err)
+		}
+		return &Index{eng: p, st: st, kind: kind, owned: owned}, nil
+	}
+	t, err := core.NewSkeleton(cfg, st, core.Estimate{
+		Tuples: est.Tuples,
+		Domain: est.Domain,
+		Hists:  est.Histograms,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return &Index{eng: t, st: st, kind: kind, owned: owned}, nil
+}
+
+// BulkRecord pairs a rectangle with its ID for bulk loading.
+type BulkRecord = core.Record
+
+// BulkLoadRTree builds a packed R-Tree bottom-up from a complete dataset
+// (Sort-Tile-Recursive packing at the given fill fraction, 0 < fill <= 1)
+// — the static construction of Roussopoulos & Leifker that the paper
+// contrasts skeleton indexes against. The resulting index is fully dynamic
+// afterwards: inserts and deletes behave as on any R-Tree.
+func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, error) {
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.cfg
+	cfg.Spanning = false
+	cfg.CoalesceEvery = 0
+	st, owned, err := o.openStore()
+	if err != nil {
+		return nil, err
+	}
+	t, err := core.BulkLoad(cfg, st, records, fill)
+	if err != nil {
+		if owned {
+			st.Close()
+		}
+		return nil, err
+	}
+	return &Index{eng: t, st: st, kind: "packed-r-tree", owned: owned}, nil
+}
+
+// Open reattaches an index previously persisted with Flush or Close to a
+// file created via WithFile. The stored metadata supplies the structural
+// configuration (dimensions, page sizes, spanning mode); options may tune
+// runtime knobs such as the buffer budget.
+func Open(path string, opts ...Option) (*Index, error) {
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := store.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := core.ReadMeta(fs)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	cfg := o.cfg
+	cfg.Dims = meta.Dims
+	cfg.Sizes.LeafBytes = meta.LeafBytes
+	cfg.Sizes.Growth = meta.Growth
+	cfg.Spanning = meta.Spanning
+	t, err := core.Open(cfg, fs)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	kind := "r-tree"
+	if meta.Spanning {
+		kind = "sr-tree"
+	}
+	return &Index{eng: t, st: fs, kind: kind, owned: true}, nil
+}
+
+// ErrNoMeta is returned by Open when the file holds no persisted index.
+var ErrNoMeta = core.ErrNoMeta
+
+// sentinel re-exports for callers matching errors.
+var (
+	// ErrDims indicates a rectangle of the wrong dimensionality.
+	ErrDims = core.ErrDims
+	// ErrBadRect indicates an invalid rectangle.
+	ErrBadRect = core.ErrBadRect
+)
+
+// ensure both engines satisfy the interface.
+var (
+	_ engine = (*core.Tree)(nil)
+	_ engine = (*skeleton.Predictor)(nil)
+	_        = errors.Is
+)

@@ -1,0 +1,248 @@
+package segidx_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"segidx"
+	"segidx/internal/page"
+	"segidx/internal/workload"
+)
+
+// pageID aliases the page identifier for the nopStore stub below.
+type pageID = page.ID
+
+// constructors returns one of each index type, sized for quick tests.
+func constructors(tuples int) map[string]func() (*segidx.Index, error) {
+	est := segidx.SkeletonEstimate{
+		Tuples: tuples,
+		Domain: segidx.Box(0, 0, workload.DomainHi, workload.DomainHi),
+	}
+	pred := est
+	pred.PredictFraction = 0.05
+	return map[string]func() (*segidx.Index, error){
+		"r-tree":           func() (*segidx.Index, error) { return segidx.NewRTree() },
+		"sr-tree":          func() (*segidx.Index, error) { return segidx.NewSRTree() },
+		"skeleton-r-tree":  func() (*segidx.Index, error) { return segidx.NewSkeletonRTree(est) },
+		"skeleton-sr-tree": func() (*segidx.Index, error) { return segidx.NewSkeletonSRTree(pred) },
+	}
+}
+
+func TestAllIndexTypesAgree(t *testing.T) {
+	const n = 3000
+	data := workload.I3.Generate(n, 1234)
+	queries := workload.Queries(1, 50, 55)
+	queries = append(queries, workload.Queries(0.01, 50, 56)...)
+	queries = append(queries, workload.Queries(100, 50, 57)...)
+
+	// Reference answer from a brute-force scan.
+	reference := make([][]segidx.RecordID, len(queries))
+	for qi, q := range queries {
+		for i, r := range data {
+			if r.Intersects(q) {
+				reference[qi] = append(reference[qi], segidx.RecordID(i+1))
+			}
+		}
+	}
+
+	for name, mk := range constructors(n) {
+		t.Run(name, func(t *testing.T) {
+			idx, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer idx.Close()
+			if idx.Kind() != name {
+				t.Errorf("Kind = %q, want %q", idx.Kind(), name)
+			}
+			for i, r := range data {
+				if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if idx.Len() != n {
+				t.Fatalf("Len = %d", idx.Len())
+			}
+			if err := idx.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				got, err := idx.Search(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids := make([]segidx.RecordID, 0, len(got))
+				for _, e := range got {
+					ids = append(ids, e.ID)
+				}
+				sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+				want := reference[qi]
+				if len(ids) != len(want) {
+					t.Fatalf("query %d: got %d results, want %d", qi, len(ids), len(want))
+				}
+				for i := range ids {
+					if ids[i] != want[i] {
+						t.Fatalf("query %d: result %d is %d, want %d", qi, i, ids[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPublicPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.db")
+	idx, err := segidx.NewSRTree(segidx.WithFile(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.I1.Generate(500, 9)
+	for i, r := range data {
+		if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx2, err := segidx.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx2.Close()
+	if idx2.Kind() != "sr-tree" {
+		t.Errorf("reopened kind = %q", idx2.Kind())
+	}
+	if idx2.Len() != 500 {
+		t.Fatalf("reopened Len = %d", idx2.Len())
+	}
+	n, err := idx2.Count(segidx.Box(0, 0, workload.DomainHi, workload.DomainHi))
+	if err != nil || n != 500 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	if err := idx2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFileMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.db")
+	// Create an empty file store with no index in it.
+	idx, err := segidx.NewRTree(segidx.WithFile(path))
+	_ = idx
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do not flush; close the store behind the index's back by opening a
+	// brand new path instead.
+	fresh := filepath.Join(t.TempDir(), "missing.db")
+	if _, err := segidx.Open(fresh); !errors.Is(err, segidx.ErrNoMeta) {
+		t.Fatalf("Open(fresh) = %v, want ErrNoMeta", err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := segidx.NewRTree(segidx.WithDims(0)); err == nil {
+		t.Error("dims 0 accepted")
+	}
+	if _, err := segidx.NewSRTree(segidx.WithBranchReserve(2)); err == nil {
+		t.Error("branch reserve 2 accepted")
+	}
+	if _, err := segidx.NewRTree(segidx.WithFile("")); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := segidx.NewRTree(segidx.WithStore(nil)); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := segidx.NewSkeletonRTree(segidx.SkeletonEstimate{Tuples: 0}); err == nil {
+		t.Error("empty estimate accepted")
+	}
+	// Mutually exclusive store options.
+	if _, err := segidx.NewRTree(segidx.WithFile("/tmp/x.db"), segidx.WithStore(nopStore{})); err == nil {
+		t.Error("WithFile + WithStore accepted")
+	}
+}
+
+// nopStore satisfies store.Store minimally for the option-conflict test.
+type nopStore struct{}
+
+func (nopStore) Allocate(int) (pageID, error) { return 0, fmt.Errorf("nop") }
+func (nopStore) Write(pageID, []byte) error   { return fmt.Errorf("nop") }
+func (nopStore) Read(pageID) ([]byte, error)  { return nil, fmt.Errorf("nop") }
+func (nopStore) Free(pageID) error            { return fmt.Errorf("nop") }
+func (nopStore) PageSize(pageID) (int, error) { return 0, fmt.Errorf("nop") }
+func (nopStore) Len() int                     { return 0 }
+func (nopStore) Close() error                 { return nil }
+
+func TestDimensionsOtherThanTwo(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			idx, err := segidx.NewSRTree(segidx.WithDims(k), segidx.WithLeafNodeBytes(512))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer idx.Close()
+			min := make([]float64, k)
+			max := make([]float64, k)
+			for i := 0; i < 500; i++ {
+				for d := 0; d < k; d++ {
+					min[d] = float64((i * (d + 3)) % 900)
+					max[d] = min[d] + float64(i%50)
+				}
+				r, err := segidx.NewRect(min, max)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if err := idx.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			all := make([]float64, k)
+			hi := make([]float64, k)
+			for d := range hi {
+				hi[d] = 1000
+			}
+			q, _ := segidx.NewRect(all, hi)
+			n, err := idx.Count(q)
+			if err != nil || n != 500 {
+				t.Fatalf("Count = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+func TestDeleteThroughPublicAPI(t *testing.T) {
+	idx, err := segidx.NewSkeletonSRTree(segidx.SkeletonEstimate{
+		Tuples: 1000,
+		Domain: segidx.Box(0, 0, workload.DomainHi, workload.DomainHi),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	data := workload.R2.Generate(1000, 3)
+	for i, r := range data {
+		if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		n, err := idx.Delete(segidx.RecordID(i+1), data[i])
+		if err != nil || n != 1 {
+			t.Fatalf("delete %d: %d, %v", i, n, err)
+		}
+	}
+	if idx.Len() != 500 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
