@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks src as a single-file package. The loader is
+// rooted at the enclosing module so fixtures may import real segidx
+// packages (the errchecklite fixtures call into internal/store).
+func loadFixture(t *testing.T, pkgPath, src string) *Package {
+	t.Helper()
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+// checkFixture runs the analyzer over src and compares the diagnostics
+// against "// want <analyzer>" markers in the fixture: every marked line
+// must produce exactly one diagnostic from that analyzer, and no unmarked
+// line may produce any.
+func checkFixture(t *testing.T, a *Analyzer, src string) {
+	t.Helper()
+	pkg := loadFixture(t, "fixture", src)
+	diags := RunUnfiltered(pkg, []*Analyzer{a})
+
+	want := make(map[string]bool) // "line:analyzer"
+	for i, line := range strings.Split(src, "\n") {
+		if idx := strings.Index(line, "// want "); idx >= 0 {
+			name := strings.TrimSpace(line[idx+len("// want "):])
+			want[fmt.Sprintf("%d:%s", i+1, name)] = true
+		}
+	}
+	got := make(map[string]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%d:%s", d.Pos.Line, d.Analyzer)
+		if got[key] {
+			t.Errorf("duplicate diagnostic on line %d: %s", d.Pos.Line, d.Message)
+		}
+		got[key] = true
+		if !want[key] {
+			t.Errorf("unexpected diagnostic at line %d: %s", d.Pos.Line, d.Message)
+		}
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing expected diagnostic %q", key)
+		}
+	}
+}
+
+func TestLockCheck(t *testing.T) {
+	checkFixture(t, LockCheck, `package fixture
+
+import "sync"
+
+type Tree struct {
+	mu   sync.RWMutex
+	size int
+}
+
+// helper reads state. The caller must hold t.mu.
+func (t *Tree) helper() int { return t.size }
+
+// badHelper re-acquires the lock it requires. The caller must hold t.mu.
+func (t *Tree) badHelper() int {
+	t.mu.RLock()         // want lockcheck
+	defer t.mu.RUnlock() // want lockcheck
+	return t.size
+}
+
+// Good acquires before calling the helper.
+func (t *Tree) Good() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.helper()
+}
+
+// Bad never acquires the lock.
+func (t *Tree) Bad() int {
+	return t.helper() // want lockcheck
+}
+
+// Late acquires only after the helper call.
+func (t *Tree) Late() int {
+	v := t.helper() // want lockcheck
+	t.mu.Lock()
+	v += t.size
+	t.mu.Unlock()
+	return v
+}
+
+// unexportedCaller is exempt: assumed to run under its caller's lock.
+func (t *Tree) unexportedCaller() int { return t.helper() }
+
+// Allowed is excused by directive.
+//
+//seglint:allow lockcheck — fixture: receiver is unpublished here
+func (t *Tree) Allowed() int { return t.helper() }
+
+// NoHelpers needs no lock because it calls no locked helper.
+func (t *Tree) NoHelpers() int { return 42 }
+`)
+}
+
+func TestFloatCmp(t *testing.T) {
+	checkFixture(t, FloatCmp, `package fixture
+
+func eq(a, b float64) bool { return a == b } // want floatcmp
+func ne(a, b float64) bool { return a != b } // want floatcmp
+func zero(x float64) bool  { return x == 0 } // want floatcmp
+func f32(a, b float32) bool { return a == b } // want floatcmp
+
+func lt(a, b float64) bool { return a < b }
+func ints(a, b int) bool   { return a == b }
+func strs(a, b string) bool { return a == b }
+
+const c1, c2 = 1.5, 2.5
+
+var constsEqual = c1 == c2 // exact by definition: both compile-time constants
+
+func mixed(xs []float64, i int) bool {
+	return xs[i] == 0 // want floatcmp
+}
+
+func allowed(a, b float64) bool {
+	return a == b //seglint:allow floatcmp — fixture rationale
+}
+`)
+}
+
+func TestErrCheckLite(t *testing.T) {
+	checkFixture(t, ErrCheckLite, `package fixture
+
+import (
+	"segidx/internal/page"
+	"segidx/internal/store"
+)
+
+func drop(st store.Store, id page.ID, buf []byte) {
+	st.Write(id, buf)  // want errchecklite
+	go st.Free(id)     // want errchecklite
+	defer st.Close()   // want errchecklite
+
+	_ = st.Write(id, buf) // explicit discard is the visible opt-out
+	if err := st.Write(id, buf); err != nil {
+		_ = err
+	}
+	st.Len() // no error result; fine as a statement
+
+	//seglint:allow errchecklite — fixture rationale
+	st.Free(id)
+}
+
+func local() {}
+
+func callLocal() { local() } // package-local calls are out of scope
+`)
+}
+
+func TestNodePanic(t *testing.T) {
+	checkFixture(t, NodePanic, `package fixture
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want nodepanic
+	}
+	fmt.Println("hi")   // want nodepanic
+	fmt.Printf("%d", x) // want nodepanic
+	fmt.Print(x)        // want nodepanic
+	log.Fatalf("bye")   // want nodepanic
+	log.Panicln("no")   // want nodepanic
+	os.Exit(1)          // want nodepanic
+	println("dbg")      // want nodepanic
+}
+
+func ok(w io.Writer, x int) error {
+	fmt.Fprintf(w, "%d", x) // caller-supplied writer: fine
+	s := fmt.Sprintf("%d", x)
+	return fmt.Errorf("x=%s", s)
+}
+
+// MustOK is excused by a doc-comment directive covering the whole function.
+//
+//seglint:allow nodepanic — fixture: Must-style constructor
+func MustOK(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+`)
+}
+
+// TestAppliesTo pins the package filters: floatcmp only guards geom/core,
+// and the library-package filter exempts cmd and examples.
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{FloatCmp, "segidx/internal/geom", true},
+		{FloatCmp, "segidx/internal/core", true},
+		{FloatCmp, "segidx/internal/workload", false},
+		{NodePanic, "segidx/internal/core", true},
+		{NodePanic, "segidx/cmd/segbench", false},
+		{NodePanic, "segidx/examples/quickstart", false},
+		{NodePanic, "segidx", true},
+		{LockCheck, "segidx/rulelock", true},
+		{ErrCheckLite, "segidx/cmd/seglint", false},
+	}
+	for _, c := range cases {
+		if got := c.a.AppliesTo(c.path); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+}
+
+// TestLoaderLoadsRealPackage exercises the loader against an actual module
+// package, including its transitive module-internal imports.
+func TestLoaderLoadsRealPackage(t *testing.T) {
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	pkg, err := l.Load("segidx/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "core" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	// The cache must return the identical package on re-load.
+	again, err := l.Load("segidx/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("loader did not cache the package")
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	l := &Loader{ModulePath: "segidx"}
+	cases := []struct {
+		pkg, pattern string
+		want         bool
+	}{
+		{"segidx", "./...", true},
+		{"segidx/internal/geom", "./...", true},
+		{"segidx/internal/geom", "./internal/...", true},
+		{"segidx/internal/geom", "./internal/geom", true},
+		{"segidx/internal/geom", "./internal/core", false},
+		{"segidx/internal/geom", "segidx/internal/geom", true},
+		{"segidx", "./internal/...", false},
+	}
+	for _, c := range cases {
+		if got := l.Match(c.pkg, c.pattern); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pkg, c.pattern, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands in the geometry
+// and engine packages. Raw float equality is how coordinate drift bugs hide:
+// two rectangles produced by different arithmetic paths compare unequal by
+// one ulp and a branch rectangle silently stops matching its child's cover.
+// Comparisons must route through geom.Feq / geom.Fzero; the few places where
+// exact equality is load-bearing (change detection) carry a seglint:allow
+// directive with a rationale.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid raw ==/!= on float64 in internal/geom and internal/core; use geom.Feq/geom.Fzero",
+	Run:  runFloatCmp,
+	AppliesTo: func(pkgPath string) bool {
+		return floatCmpPackages[pkgPath]
+	},
+}
+
+// floatCmpPackages are the packages whose coordinate arithmetic the pass
+// guards. Extend this set as more packages grow float-heavy code.
+var floatCmpPackages = map[string]bool{
+	"segidx/internal/geom": true,
+	"segidx/internal/core": true,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			// Comparisons between two compile-time constants are exact by
+			// definition and cannot drift at runtime.
+			if isConst(p.Info, be.X) && isConst(p.Info, be.Y) {
+				return true
+			}
+			hint := "geom.Feq"
+			if isZeroLiteral(be.X) || isZeroLiteral(be.Y) {
+				hint = "geom.Fzero"
+			}
+			p.Reportf(be.OpPos, "raw float comparison (%s); use %s or add a seglint:allow directive with a rationale", be.Op, hint)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && (bl.Value == "0" || bl.Value == "0.0")
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockCheck enforces the tree's documented lock discipline.
+//
+// A function whose doc comment declares that the caller must hold the lock
+// (phrases like "caller must hold t.mu" or "requires the write lock") is a
+// *locked helper*. Two rules follow:
+//
+//  1. A locked helper must not itself acquire or release the mutex: Go's
+//     sync.(RW)Mutex is not reentrant, so re-acquiring under the held lock
+//     deadlocks, and releasing would break the caller's critical section.
+//
+//  2. An exported function or method that calls a locked helper must
+//     lexically acquire a ".mu" lock (Lock or RLock) before the first such
+//     call. Unexported functions are exempt — they are assumed to run
+//     under a lock their exported entry point took — as is any exported
+//     function that is itself documented as a locked helper.
+//
+// The check is syntactic and flow-insensitive by design: it orders calls by
+// source position within the function body, which matches the repo's
+// "acquire in the first statements, defer the release" style. Constructors
+// operating on unpublished trees opt out with a seglint:allow directive.
+var LockCheck = &Analyzer{
+	Name:      "lockcheck",
+	Doc:       "verify callers of must-hold-t.mu helpers acquire the lock, and that helpers never re-acquire it",
+	Run:       runLockCheck,
+	AppliesTo: libraryPackage,
+}
+
+// lockDocRe recognizes the doc-comment phrases that mark a locked helper.
+var lockDocRe = regexp.MustCompile(`(?i)(callers?\s+must\s+hold|requires)\s+(the\s+)?((write|read)\s+lock|lock|t\.mu|[a-z]+\.mu)`)
+
+// lockMethodNames are the sync.Mutex/RWMutex methods of interest.
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true}
+var lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func runLockCheck(p *Pass) {
+	// Pass 1: collect locked helpers declared in this package.
+	locked := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			if lockDocRe.MatchString(fd.Doc.Text()) {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					locked[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := p.Info.Defs[fd.Name]
+			if _, isLocked := locked[obj]; isLocked {
+				p.checkNoMutexOps(fd)
+				continue
+			}
+			if fd.Name.IsExported() {
+				p.checkAcquiresBeforeHelpers(fd, locked)
+			}
+		}
+	}
+}
+
+// checkNoMutexOps flags any ".mu.Lock/RLock/Unlock/RUnlock" call inside a
+// locked helper.
+func (p *Pass) checkNoMutexOps(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, onMu := muMethod(call)
+		if !onMu {
+			return true
+		}
+		verb := "acquires"
+		if lockRelease[method] {
+			verb = "releases"
+		}
+		p.Reportf(call.Pos(),
+			"%s is documented as requiring the caller to hold the lock but %s it (.mu.%s); sync mutexes are not reentrant",
+			fd.Name.Name, verb, method)
+		return true
+	})
+}
+
+// checkAcquiresBeforeHelpers flags exported functions that call a locked
+// helper without a lexically preceding mutex acquisition.
+func (p *Pass) checkAcquiresBeforeHelpers(fd *ast.FuncDecl, locked map[types.Object]*ast.FuncDecl) {
+	var firstHelper *ast.CallExpr
+	var firstHelperName string
+	firstAcquire := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if method, onMu := muMethod(call); onMu && lockAcquire[method] {
+			if !firstAcquire.IsValid() || call.Pos() < firstAcquire {
+				firstAcquire = call.Pos()
+			}
+			return true
+		}
+		callee := calleeObject(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		if _, isLocked := locked[callee]; isLocked {
+			if firstHelper == nil || call.Pos() < firstHelper.Pos() {
+				firstHelper = call
+				firstHelperName = callee.Name()
+			}
+		}
+		return true
+	})
+	if firstHelper == nil {
+		return
+	}
+	if !firstAcquire.IsValid() {
+		p.Reportf(firstHelper.Pos(),
+			"exported %s calls %s, which requires holding the lock, but never acquires .mu",
+			fd.Name.Name, firstHelperName)
+		return
+	}
+	if firstHelper.Pos() < firstAcquire {
+		p.Reportf(firstHelper.Pos(),
+			"exported %s calls %s before acquiring .mu (helper requires the lock held)",
+			fd.Name.Name, firstHelperName)
+	}
+}
+
+// muMethod reports whether call is "<expr>.mu.<Method>()" for a mutex
+// method, returning the method name.
+func muMethod(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !lockAcquire[name] && !lockRelease[name] {
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" {
+		return "", false
+	}
+	return name, true
+}
+
+// calleeObject resolves the called function or method, or nil.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

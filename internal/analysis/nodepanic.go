@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NodePanic keeps process-terminating and stdout-writing calls out of
+// library packages: panic, print/println, os.Exit, log.Fatal*/log.Panic*,
+// and fmt.Print* (the stdout variants; fmt.Fprintf to a caller-supplied
+// writer is fine). A library embedded in a server must surface failures as
+// errors the caller can route, not kill the process or scribble on its
+// stdout. Must-style constructors and invariant backstops opt out with a
+// seglint:allow directive carrying a rationale.
+var NodePanic = &Analyzer{
+	Name:      "nodepanic",
+	Doc:       "forbid panic/print/os.Exit/log.Fatal in library packages (cmd/ and examples/ exempt)",
+	Run:       runNodePanic,
+	AppliesTo: libraryPackage,
+}
+
+// forbiddenCalls maps package path -> function names that terminate the
+// process or write to standard output.
+var forbiddenCalls = map[string]map[string]string{
+	"os": {"Exit": "terminates the process"},
+	"log": {
+		"Fatal": "terminates the process", "Fatalf": "terminates the process", "Fatalln": "terminates the process",
+		"Panic": "panics", "Panicf": "panics", "Panicln": "panics",
+	},
+	"fmt": {
+		"Print": "writes to stdout", "Printf": "writes to stdout", "Println": "writes to stdout",
+	},
+}
+
+func runNodePanic(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+					switch obj.Name() {
+					case "panic":
+						p.Reportf(call.Pos(), "panic in library code; return an error (or add a seglint:allow directive with a rationale)")
+					case "print", "println":
+						p.Reportf(call.Pos(), "%s writes to stderr from library code; plumb a writer or drop it", obj.Name())
+					}
+				}
+			case *ast.SelectorExpr:
+				pkgIdent, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := p.Info.Uses[pkgIdent].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				if why, bad := forbiddenCalls[pkgName.Imported().Path()][fun.Sel.Name]; bad {
+					p.Reportf(call.Pos(), "%s.%s %s; library code must return errors and leave I/O to the caller",
+						pkgName.Imported().Path(), fun.Sel.Name, why)
+				}
+			}
+			return true
+		})
+	}
+}

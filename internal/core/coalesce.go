@@ -18,7 +18,8 @@ import (
 // Two leaves merge when their regions share a full (D-1)-dimensional face
 // and the combined record count stays below CoalesceMaxFill of leaf
 // capacity. Spanning records linked to the removed leaf are relinked to the
-// merged leaf when they still span it, and reinserted otherwise.
+// merged leaf when they still span it, and reinserted otherwise. The caller
+// must hold the write lock on t.mu.
 func (t *Tree) coalesce(o *op) error {
 	L := t.cfg.CoalesceCandidates
 	if L <= 0 || t.height < 2 {
@@ -147,13 +148,16 @@ func (t *Tree) findMergePartner(n *node.Node, i int, o *op) int {
 
 // regionsAdjacent reports whether two regions share a full (D-1)-face:
 // identical extents in all dimensions but one, touching in that one.
+// Comparisons are epsilon-tolerant: skeleton partition boundaries come from
+// histogram quantile arithmetic, and faces that differ only by rounding
+// still tile the domain.
 func regionsAdjacent(a, b geom.Rect) bool {
 	touchDim := -1
 	for d := 0; d < a.Dims(); d++ {
-		if a.Min[d] == b.Min[d] && a.Max[d] == b.Max[d] {
+		if geom.Feq(a.Min[d], b.Min[d]) && geom.Feq(a.Max[d], b.Max[d]) {
 			continue
 		}
-		if a.Max[d] == b.Min[d] || b.Max[d] == a.Min[d] {
+		if geom.Feq(a.Max[d], b.Min[d]) || geom.Feq(b.Max[d], a.Min[d]) {
 			if touchDim >= 0 {
 				return false
 			}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// TestConcurrentReadersDuringDeleteCoalesce exercises the one-writer /
+// many-readers contract through the structurally most aggressive write
+// path: a delete stream over an over-provisioned skeleton that triggers
+// leaf coalescing (node frees and branch rewrites) while readers search,
+// poll stats, and periodically walk the whole structure. Run with -race.
+func TestConcurrentReadersDuringDeleteCoalesce(t *testing.T) {
+	cfg := skeletonConfig(true)
+	cfg.CoalesceEvery = 25
+	tr, err := NewInMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BuildSkeleton(Estimate{Tuples: 4000, Domain: domain1000()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Preload a dense corner plus a scattered remainder so deletes leave
+	// many sparse sibling leaves for the coalescer.
+	const preload = 800
+	rng := rand.New(rand.NewSource(501))
+	rects := make([]geom.Rect, preload)
+	for i := 0; i < preload; i++ {
+		var r geom.Rect
+		if i%4 == 0 {
+			r = randSegment(rng)
+		} else {
+			x := rng.Float64() * 150
+			y := rng.Float64() * 150
+			r = geom.Rect2(x, y, x, y)
+		}
+		rects[i] = r
+		if err := tr.Insert(r, node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	done := make(chan struct{})
+
+	// Writer: interleave deletes (which condense nodes and trigger
+	// coalesce scans) with fresh inserts so the structure keeps churning
+	// in both directions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		wrng := rand.New(rand.NewSource(502))
+		next := node.RecordID(preload + 1)
+		for i := 0; i < preload; i++ {
+			if _, err := tr.Delete(node.RecordID(i+1), rects[i]); err != nil {
+				errs <- fmt.Errorf("delete %d: %w", i+1, err)
+				return
+			}
+			if i%3 == 0 {
+				if err := tr.Insert(randSegment(wrng), next); err != nil {
+					errs <- fmt.Errorf("interleaved insert: %w", err)
+					return
+				}
+				next++
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(int64(600 + r)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := randQuery(qrng)
+				// Every result must intersect the query — internal
+				// consistency is all a reader can demand while the
+				// writer mutates.
+				err := tr.SearchFunc(q, func(e Entry) bool {
+					if !e.Rect.Intersects(q) {
+						errs <- fmt.Errorf("reader %d: entry %v outside query %v", r, e.Rect, q)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					errs <- fmt.Errorf("reader %d search: %w", r, err)
+					return
+				}
+				_ = tr.Len()
+				_ = tr.Stats()
+				if i%50 == 0 {
+					// A full structural walk under the read lock must be
+					// safe against the writer at any interleaving.
+					if err := tr.CheckInvariants(); err != nil {
+						errs <- fmt.Errorf("reader %d invariants: %w", r, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := tr.Stats().Coalesces; got == 0 {
+		t.Fatal("delete stream never triggered a coalesce; the test lost its point")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -225,7 +225,7 @@ func (t *Tree) deleteRec(nid page.ID, hint geom.Rect, match func(node.Record) bo
 
 // resetEmptyRoot replaces a branchless non-leaf root with a fresh empty
 // leaf (inheriting any skeleton region), so descents always find a sound
-// structure.
+// structure. The caller must hold the write lock on t.mu.
 func (t *Tree) resetEmptyRoot(o *op) error {
 	n, err := t.fetch(t.root, o.accesses)
 	if err != nil {
@@ -309,7 +309,8 @@ func (o *op) insertBranch(b node.Branch, level int) error {
 }
 
 // growRootForBranch adds one level above the current root so that an
-// orphaned subtree of height equal to the tree can be re-attached.
+// orphaned subtree of height equal to the tree can be re-attached. The
+// caller must hold the write lock on t.mu.
 func (t *Tree) growRootForBranch(o *op) error {
 	cur, err := t.fetch(t.root, o.accesses)
 	if err != nil {
@@ -330,7 +331,7 @@ func (t *Tree) growRootForBranch(o *op) error {
 
 // collapseRoot shrinks the tree while the root is a non-leaf with a single
 // branch and no spanning records of its own (any that exist are reinserted
-// through the op queue).
+// through the op queue). The caller must hold the write lock on t.mu.
 func (t *Tree) collapseRoot(o *op) error {
 	for {
 		n, err := t.fetch(t.root, o.accesses)

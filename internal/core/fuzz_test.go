@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// fuzzOps decodes a byte stream into a bounded tree workload. Layout per
+// operation: 1 opcode byte, then coordinate bytes (2 per coordinate,
+// mapping to [0, 1000]); the stream ends when the bytes run out.
+type fuzzOps struct {
+	data []byte
+	pos  int
+}
+
+func (o *fuzzOps) more() bool { return o.pos < len(o.data) }
+
+func (o *fuzzOps) byte() byte {
+	if !o.more() {
+		return 0
+	}
+	b := o.data[o.pos]
+	o.pos++
+	return b
+}
+
+func (o *fuzzOps) coord() float64 {
+	hi, lo := o.byte(), o.byte()
+	return float64(uint16(hi)<<8|uint16(lo)) * 1000 / 65535
+}
+
+func (o *fuzzOps) rect() geom.Rect {
+	x1, y1, x2, y2 := o.coord(), o.coord(), o.coord(), o.coord()
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return geom.Rect2(x1, y1, x2, y2)
+}
+
+// FuzzTreeOps drives a tree and the brute-force model through the same
+// decoded operation stream — the differential oracle — checking after every
+// step that searches agree, Len matches, and every structural invariant
+// still holds. Both spanning modes run on each input.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 255, 255, 255, 255})  // one big insert
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 1, 0, 2}) // insert then delete
+	f.Add([]byte{2, 0, 0, 0, 0, 255, 255, 255, 255})  // search empty
+	{
+		// Enough inserts to force splits, then interleaved deletes and
+		// searches.
+		var seed []byte
+		for i := 0; i < 24; i++ {
+			seed = append(seed, 0, byte(i*7), byte(i*11), byte(i*7+3), byte(i*11+5), byte(i), byte(i*3), byte(i), byte(i*3))
+		}
+		for i := 0; i < 8; i++ {
+			seed = append(seed, 1, byte(i*2)) // delete
+			seed = append(seed, 2, 0, 0, 0, 0, 200, 0, 200, 0)
+		}
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			t.Skip() // bound per-input work; long streams add no new shapes
+		}
+		for _, spanning := range []bool{false, true} {
+			t.Run(fmt.Sprintf("spanning=%v", spanning), func(t *testing.T) {
+				tr, err := NewInMemory(smallConfig(spanning))
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := newModel()
+				ops := &fuzzOps{data: data}
+				nextID := node.RecordID(1)
+				var live []node.RecordID
+
+				for ops.more() {
+					switch ops.byte() % 3 {
+					case 0: // insert
+						r := ops.rect()
+						id := nextID
+						nextID++
+						if err := tr.Insert(r, id); err != nil {
+							t.Fatalf("Insert(%v, %d): %v", r, id, err)
+						}
+						m.insert(r, id)
+						live = append(live, id)
+					case 1: // delete a live record (or a missing one when none)
+						if len(live) == 0 {
+							if n, err := tr.Delete(9999, domain1000()); err != nil || n != 0 {
+								t.Fatalf("Delete(missing) = (%d, %v), want (0, nil)", n, err)
+							}
+							continue
+						}
+						i := int(ops.byte()) % len(live)
+						id := live[i]
+						live = append(live[:i], live[i+1:]...)
+						n, err := tr.Delete(id, m.rects[id])
+						if err != nil {
+							t.Fatalf("Delete(%d): %v", id, err)
+						}
+						if n != 1 {
+							t.Fatalf("Delete(%d) removed %d records, want 1", id, n)
+						}
+						m.delete(id)
+					case 2: // search
+						q := ops.rect()
+						got := searchIDs(t, tr, q)
+						want := m.search(q)
+						if !idsEqual(got, want) {
+							t.Fatalf("Search(%v) = %v, model says %v", q, got, want)
+						}
+						continue // no mutation; skip the invariant walk
+					}
+					if tr.Len() != len(m.rects) {
+						t.Fatalf("Len() = %d, model holds %d", tr.Len(), len(m.rects))
+					}
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("invariants violated mid-stream: %v", err)
+					}
+				}
+
+				// Final cross-check over the whole domain.
+				got := searchIDs(t, tr, domain1000())
+				if want := m.search(domain1000()); !idsEqual(got, want) {
+					t.Fatalf("final full-domain search %v, model says %v", got, want)
+				}
+			})
+		}
+	})
+}

@@ -117,7 +117,7 @@ func chooseBranch(n *node.Node, rect geom.Rect) int {
 	for i := 1; i < len(n.Branches); i++ {
 		enl := n.Branches[i].Rect.Enlargement(rect)
 		area := n.Branches[i].Rect.Area()
-		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+		if enl < bestEnl || (geom.Feq(enl, bestEnl) && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}
 	}
@@ -312,6 +312,12 @@ func (o *op) placePromoted(parent *node.Node, promoted []node.Record) {
 	for _, rec := range promoted {
 		if o.placeSpanning(parent, rec) {
 			o.t.stats.Promotions++
+			// The record qualified against its source node's pre-split
+			// cover, but the installed branch rect is the post-split cover,
+			// which can shrink past the record (removing the promoted
+			// records themselves shrinks it). Recheck the link once the
+			// operation's structural changes settle.
+			o.revalidate[parent.ID] = true
 		} else {
 			o.enqueue(rec.Rect, rec.ID)
 		}

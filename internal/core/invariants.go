@@ -2,13 +2,53 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"segidx/internal/geom"
 	"segidx/internal/page"
 )
 
+// PathStep identifies one node on the root-to-violation path carried by an
+// InvariantError: the node's page ID and its level (leaves are level 0).
+type PathStep struct {
+	ID    page.ID
+	Level int
+}
+
+func (s PathStep) String() string { return fmt.Sprintf("%v@%d", s.ID, s.Level) }
+
+// InvariantError is the error type CheckInvariants returns for structural
+// violations. Path lists the nodes walked from the root down to the
+// violating node, inclusive, so a failure pinpoints where in the tree the
+// structure went wrong rather than only what went wrong. Err holds the
+// violation itself and is reachable through errors.Unwrap.
+type InvariantError struct {
+	Path []PathStep
+	Err  error
+}
+
+func (e *InvariantError) Error() string {
+	var b strings.Builder
+	b.WriteString("core: invariant violation at ")
+	if len(e.Path) == 0 {
+		b.WriteString("(unreadable node)")
+	}
+	for i, s := range e.Path {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Err.Error())
+	return b.String()
+}
+
+func (e *InvariantError) Unwrap() error { return e.Err }
+
 // CheckInvariants validates the whole structure and returns the first
-// violation found, or nil. Checked properties:
+// violation found as an *InvariantError (carrying the root-to-violation
+// node path), or nil. Checked properties:
 //
 //   - every node decodes and fits its page (entry counts within capacity);
 //   - levels decrease by exactly one along every branch;
@@ -26,94 +66,109 @@ func (t *Tree) CheckInvariants() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	seen := make(map[page.ID]bool)
-	return t.checkNode(t.root, nil, seen, true)
+	return t.checkNode(t.root, nil, seen, true, nil)
 }
 
-func (t *Tree) checkNode(id page.ID, parentRect *geom.Rect, seen map[page.ID]bool, isRoot bool) error {
-	if seen[id] {
-		return fmt.Errorf("core: node %v reachable twice", id)
-	}
-	seen[id] = true
+// checkNode validates the subtree rooted at id. path holds the PathSteps of
+// the ancestors already walked; every violation is wrapped in an
+// *InvariantError extending that path with the current node. The caller
+// must hold t.mu.
+func (t *Tree) checkNode(id page.ID, parentRect *geom.Rect, seen map[page.ID]bool, isRoot bool, path []PathStep) error {
 	n, err := t.fetch(id, nil)
 	if err != nil {
-		return err
+		return &InvariantError{
+			Path: append(append([]PathStep(nil), path...), PathStep{ID: id, Level: -1}),
+			Err:  err,
+		}
 	}
 	defer t.done(id, false)
+	path = append(path, PathStep{ID: id, Level: n.Level})
+	fail := func(format string, args ...any) error {
+		return &InvariantError{
+			Path: append([]PathStep(nil), path...),
+			Err:  fmt.Errorf(format, args...),
+		}
+	}
 	dims := t.cfg.Dims
 
+	if seen[id] {
+		return fail("node %v reachable twice", id)
+	}
+	seen[id] = true
+
 	if isRoot && n.Level != t.height-1 {
-		return fmt.Errorf("core: root %v at level %d but height is %d", id, n.Level, t.height)
+		return fail("root %v at level %d but height is %d", id, n.Level, t.height)
 	}
 
 	// Capacity.
 	if n.IsLeaf() {
 		if len(n.Records) > t.leafCap() {
-			return fmt.Errorf("core: leaf %v holds %d records, capacity %d", id, len(n.Records), t.leafCap())
+			return fail("leaf %v holds %d records, capacity %d", id, len(n.Records), t.leafCap())
 		}
 		if len(n.Branches) != 0 {
-			return fmt.Errorf("core: leaf %v has branches", id)
+			return fail("leaf %v has branches", id)
 		}
 	} else {
 		if len(n.Branches) > t.branchCap(n.Level) {
-			return fmt.Errorf("core: node %v holds %d branches, capacity %d", id, len(n.Branches), t.branchCap(n.Level))
+			return fail("node %v holds %d branches, capacity %d", id, len(n.Branches), t.branchCap(n.Level))
 		}
 		if !t.fitsBytes(n) {
-			return fmt.Errorf("core: node %v entries use %d bytes, page is %d",
+			return fail("node %v entries use %d bytes, page is %d",
 				id, t.codec.UsedBytes(n), t.pageBytes(n.Level))
 		}
 		if len(n.Branches) == 0 {
-			return fmt.Errorf("core: non-leaf %v has no branches", id)
+			return fail("non-leaf %v has no branches", id)
 		}
 		if !t.cfg.Spanning && len(n.Records) != 0 {
-			return fmt.Errorf("core: node %v has spanning records but Spanning is disabled", id)
+			return fail("node %v has spanning records but Spanning is disabled", id)
 		}
 	}
 
 	// Parent containment.
 	cover := n.Cover(dims)
 	if parentRect != nil && !cover.IsEmptyMarker() && !parentRect.Contains(cover) {
-		return fmt.Errorf("core: node %v cover %v exceeds parent branch rect %v", id, cover, *parentRect)
+		return fail("node %v cover %v exceeds parent branch rect %v", id, cover, *parentRect)
 	}
 
 	// Record validity.
 	for i, rec := range n.Records {
 		if !rec.Rect.Valid() {
-			return fmt.Errorf("core: node %v record %d invalid rect", id, i)
+			return fail("node %v record %d invalid rect", id, i)
 		}
 		if n.IsLeaf() {
 			if rec.Span != page.Nil {
-				return fmt.Errorf("core: leaf %v record %d carries a span link", id, i)
+				return fail("leaf %v record %d carries a span link", id, i)
 			}
 			continue
 		}
 		bi := n.BranchIndex(rec.Span)
 		if bi < 0 {
-			return fmt.Errorf("core: node %v spanning record %d links to absent branch %v", id, i, rec.Span)
+			return fail("node %v spanning record %d links to absent branch %v", id, i, rec.Span)
 		}
 		if !spansQualify(rec.Rect, n.Branches[bi].Rect) {
-			return fmt.Errorf("core: node %v spanning record %d (%v) does not span branch %v",
+			return fail("node %v spanning record %d (%v) does not span branch %v",
 				id, i, rec.Rect, n.Branches[bi].Rect)
 		}
 		if !cover.Contains(rec.Rect) {
-			return fmt.Errorf("core: node %v spanning record %d escapes the node cover", id, i)
+			return fail("node %v spanning record %d escapes the node cover", id, i)
 		}
 	}
 
 	// Skeleton regions must be well-formed; sibling overlap is checked
 	// during recursion below.
 	if n.HasRegion() && !n.Region.Valid() {
-		return fmt.Errorf("core: node %v has invalid region %v", id, n.Region)
+		return fail("node %v has invalid region %v", id, n.Region)
 	}
 
 	// Recurse.
 	for i := range n.Branches {
 		b := n.Branches[i]
 		if !b.Rect.Valid() {
-			return fmt.Errorf("core: node %v branch %d invalid rect", id, i)
+			return fail("node %v branch %d invalid rect", id, i)
 		}
 		child, err := t.fetch(b.Child, nil)
 		if err != nil {
-			return fmt.Errorf("core: node %v branch %d: %w", id, i, err)
+			return fail("node %v branch %d: %w", id, i, err)
 		}
 		childLevel := child.Level
 		childRegion := geom.Rect{}
@@ -122,13 +177,13 @@ func (t *Tree) checkNode(id page.ID, parentRect *geom.Rect, seen map[page.ID]boo
 		}
 		t.done(b.Child, false)
 		if childLevel != n.Level-1 {
-			return fmt.Errorf("core: node %v (level %d) points to child %v at level %d", id, n.Level, b.Child, childLevel)
+			return fail("node %v (level %d) points to child %v at level %d", id, n.Level, b.Child, childLevel)
 		}
 		if childRegion.Dims() > 0 {
 			for j := i + 1; j < len(n.Branches); j++ {
 				sib, err := t.fetch(n.Branches[j].Child, nil)
 				if err != nil {
-					return err
+					return fail("node %v branch %d: %w", id, j, err)
 				}
 				overlap := 0.0
 				if sib.HasRegion() {
@@ -136,12 +191,12 @@ func (t *Tree) checkNode(id page.ID, parentRect *geom.Rect, seen map[page.ID]boo
 				}
 				t.done(n.Branches[j].Child, false)
 				if overlap > 0 {
-					return fmt.Errorf("core: skeleton regions of %v and %v overlap", b.Child, n.Branches[j].Child)
+					return fail("skeleton regions of %v and %v overlap", b.Child, n.Branches[j].Child)
 				}
 			}
 		}
 		rect := b.Rect
-		if err := t.checkNode(b.Child, &rect, seen, false); err != nil {
+		if err := t.checkNode(b.Child, &rect, seen, false, path); err != nil {
 			return err
 		}
 	}

@@ -38,6 +38,8 @@ var metaPageID = page.ID(1)
 // ErrNoMeta is returned by Open when the store holds no tree metadata.
 var ErrNoMeta = errors.New("core: store has no tree metadata (was Flush called before close?)")
 
+// writeMeta serializes the tree metadata to the metadata page. The caller
+// must hold the write lock on t.mu.
 func (t *Tree) writeMeta() error {
 	buf := make([]byte, metaPageBytes)
 	binary.LittleEndian.PutUint32(buf[0:4], metaMagic)

@@ -272,7 +272,7 @@ func quadraticSplit(rects []geom.Rect, minFill int) (groupA, groupB []int) {
 			toA = true
 		case bestDA > bestDB:
 			toA = false
-		case coverA.Area() != coverB.Area():
+		case !geom.Feq(coverA.Area(), coverB.Area()):
 			toA = coverA.Area() < coverB.Area()
 		default:
 			toA = len(groupA) <= len(groupB)

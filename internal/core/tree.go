@@ -118,19 +118,16 @@ func (t *Tree) Flush() error {
 }
 
 // Close flushes the index and closes the underlying page store. The tree
-// is unusable afterwards.
+// is unusable afterwards. The store is closed even when the flush fails;
+// all errors are reported.
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.pool.Flush(); err != nil {
-		t.store.Close()
-		return err
+	err := t.pool.Flush()
+	if err == nil {
+		err = t.writeMeta()
 	}
-	if err := t.writeMeta(); err != nil {
-		t.store.Close()
-		return err
-	}
-	return t.store.Close()
+	return errors.Join(err, t.store.Close())
 }
 
 // leafCap returns the record capacity of a leaf node.
@@ -190,7 +187,8 @@ func (t *Tree) fitsBytes(n *node.Node) bool {
 
 // fetch pins and returns a node, charging one logical node access to the
 // given counter. The counter is updated atomically because searches run
-// under the read lock concurrently.
+// under the read lock concurrently. The caller must hold t.mu (or own the
+// tree exclusively, as bulk construction does before publishing it).
 func (t *Tree) fetch(id page.ID, accesses *uint64) (*node.Node, error) {
 	n, err := t.pool.Get(id)
 	if err != nil {
@@ -202,11 +200,11 @@ func (t *Tree) fetch(id page.ID, accesses *uint64) (*node.Node, error) {
 	return n, nil
 }
 
-// done unpins a node.
+// done unpins a node. The caller must hold t.mu.
+//
+//seglint:allow nodepanic — an unpin failure is a pin-discipline bug; surface loudly rather than silently corrupting LRU state
 func (t *Tree) done(id page.ID, dirty bool) {
 	if err := t.pool.Unpin(id, dirty); err != nil {
-		// An unpin failure indicates a pin-discipline bug; surface loudly
-		// rather than silently corrupting LRU state.
 		panic(err)
 	}
 }
@@ -224,11 +222,13 @@ func (t *Tree) rootCover() (geom.Rect, error) {
 }
 
 // touchLeaf records one modification of a leaf for the coalescing policy.
+// The caller must hold the write lock on t.mu.
 func (t *Tree) touchLeaf(id page.ID) {
 	t.modCounts[id]++
 }
 
-// forgetLeaf removes a freed leaf from the modification statistics.
+// forgetLeaf removes a freed leaf from the modification statistics. The
+// caller must hold the write lock on t.mu.
 func (t *Tree) forgetLeaf(id page.ID) {
 	delete(t.modCounts, id)
 }

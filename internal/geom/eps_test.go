@@ -1,0 +1,53 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFeq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{1e12, 1e12 + 1, true}, // relative tolerance at large magnitude
+		{1e12, 1e12 * (1 + 1e-6), false},
+		{0, 1e-12, true},
+		{0, 1e-6, false},
+		{-5, 5, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := Feq(c.a, c.b); got != c.want {
+			t.Errorf("Feq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Feq(c.b, c.a); got != c.want {
+			t.Errorf("Feq(%g, %g) = %v, want %v (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestFzero(t *testing.T) {
+	for _, c := range []struct {
+		x    float64
+		want bool
+	}{
+		{0, true},
+		{1e-12, true},
+		{-1e-12, true},
+		{1e-6, false},
+		{1, false},
+		{math.NaN(), false},
+	} {
+		if got := Fzero(c.x); got != c.want {
+			t.Errorf("Fzero(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

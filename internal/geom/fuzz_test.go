@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzRect builds a valid 2-D rectangle from four arbitrary float64s:
+// non-finite inputs are rejected, magnitudes clamped to ±1e6 (keeping area
+// arithmetic well inside float64 precision), and coordinates ordered per
+// dimension.
+func fuzzRect(a, b, c, d float64) (Rect, bool) {
+	vals := [4]float64{a, b, c, d}
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Rect{}, false
+		}
+		if v > 1e6 {
+			vals[i] = 1e6
+		} else if v < -1e6 {
+			vals[i] = -1e6
+		}
+	}
+	xlo, xhi := vals[0], vals[2]
+	if xlo > xhi {
+		xlo, xhi = xhi, xlo
+	}
+	ylo, yhi := vals[1], vals[3]
+	if ylo > yhi {
+		ylo, yhi = yhi, ylo
+	}
+	return Rect2(xlo, ylo, xhi, yhi), true
+}
+
+// FuzzRectOps checks metamorphic properties of the rectangle algebra that
+// the tree's correctness rests on: union/intersection containment and
+// symmetry, overlap-area consistency, and — the paper's cutting operation —
+// that Clip plus Remnants exactly tile the clipped rectangle with disjoint
+// pieces.
+func FuzzRectOps(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 5.0, 5.0, 15.0, 15.0) // partial overlap
+	f.Add(0.0, 0.0, 10.0, 10.0, 2.0, 2.0, 4.0, 4.0)   // containment
+	f.Add(0.0, 0.0, 1.0, 1.0, 5.0, 5.0, 6.0, 6.0)     // disjoint
+	f.Add(0.0, 0.0, 10.0, 0.0, 3.0, 0.0, 7.0, 0.0)    // degenerate segments
+	f.Add(-3.0, -3.0, 3.0, 3.0, -3.0, -3.0, 3.0, 3.0) // identical
+	f.Add(0.0, 0.0, 8.0, 8.0, 8.0, 0.0, 16.0, 8.0)    // touching edge
+	f.Add(-1e6, -1e6, 1e6, 1e6, -0.5, -0.5, 0.5, 0.5) // extreme scale gap
+	f.Fuzz(func(t *testing.T, a1, b1, c1, d1, a2, b2, c2, d2 float64) {
+		r, ok := fuzzRect(a1, b1, c1, d1)
+		if !ok {
+			t.Skip()
+		}
+		s, ok := fuzzRect(a2, b2, c2, d2)
+		if !ok {
+			t.Skip()
+		}
+
+		// Union: symmetric, contains both operands, and never shrinks.
+		u := r.Union(s)
+		if !u.Equal(s.Union(r)) {
+			t.Fatalf("Union not symmetric: %v vs %v", u, s.Union(r))
+		}
+		if !u.Contains(r) || !u.Contains(s) {
+			t.Fatalf("Union %v does not contain operands %v, %v", u, r, s)
+		}
+		if u.Area() < r.Area() || u.Area() < s.Area() {
+			t.Fatalf("Union area %g below operand areas %g, %g", u.Area(), r.Area(), s.Area())
+		}
+		if r.Contains(s) && !u.Equal(r) {
+			t.Fatalf("r contains s but Union %v != r %v", u, r)
+		}
+
+		// Enlargement is never negative.
+		if r.Enlargement(s) < 0 {
+			t.Fatalf("Enlargement(%v, %v) = %g < 0", r, s, r.Enlargement(s))
+		}
+
+		// Intersection: symmetric with Intersects, contained in both, and
+		// its area matches OverlapArea.
+		iv, has := r.Intersection(s)
+		if has != r.Intersects(s) || r.Intersects(s) != s.Intersects(r) {
+			t.Fatalf("Intersects/Intersection disagree for %v, %v", r, s)
+		}
+		if has {
+			if !r.Contains(iv) || !s.Contains(iv) {
+				t.Fatalf("intersection %v escapes operands %v, %v", iv, r, s)
+			}
+			if !Feq(iv.Area(), r.OverlapArea(s)) {
+				t.Fatalf("OverlapArea %g != intersection area %g", r.OverlapArea(s), iv.Area())
+			}
+		} else if r.OverlapArea(s) != 0 {
+			t.Fatalf("disjoint rects report OverlapArea %g", r.OverlapArea(s))
+		}
+
+		// Cutting (paper Section 3.1.1): the clip of r to s plus the
+		// remnants of r outside s tile r exactly — areas sum to Area(r),
+		// pieces stay inside r, remnant interiors are pairwise disjoint and
+		// disjoint from s.
+		rem := r.Remnants(s)
+		if len(rem) > 2*r.Dims() {
+			t.Fatalf("%d remnants, max is 2K=%d", len(rem), 2*r.Dims())
+		}
+		total := 0.0
+		if clip, ok := r.Clip(s); ok {
+			total += clip.Area()
+			if !r.Contains(clip) {
+				t.Fatalf("clip %v escapes r %v", clip, r)
+			}
+		}
+		for i, p := range rem {
+			if !p.Valid() {
+				t.Fatalf("remnant %d invalid: %v", i, p)
+			}
+			if !r.Contains(p) {
+				t.Fatalf("remnant %v escapes r %v", p, r)
+			}
+			if p.OverlapArea(s) > 0 {
+				t.Fatalf("remnant %v overlaps the cutting region %v", p, s)
+			}
+			for j := i + 1; j < len(rem); j++ {
+				if p.OverlapArea(rem[j]) > 0 {
+					t.Fatalf("remnants %v and %v overlap", p, rem[j])
+				}
+			}
+			total += p.Area()
+		}
+		if !Feq(total, r.Area()) {
+			t.Fatalf("clip+remnant areas %g do not tile r (area %g)", total, r.Area())
+		}
+		if s.Contains(r) && len(rem) != 0 {
+			t.Fatalf("r inside region but %d remnants returned", len(rem))
+		}
+	})
+}

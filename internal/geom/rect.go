@@ -53,6 +53,8 @@ func NewRect(min, max []float64) (Rect, error) {
 
 // MustRect is NewRect that panics on invalid input. Intended for tests,
 // examples, and literals whose validity is evident at the call site.
+//
+//seglint:allow nodepanic — Must-style constructor, panics by documented contract
 func MustRect(min, max []float64) Rect {
 	r, err := NewRect(min, max)
 	if err != nil {
@@ -102,7 +104,13 @@ func (r Rect) Clone() Rect {
 	}
 }
 
-// Equal reports whether r and s have identical corners.
+// Equal reports whether r and s have identical corners. Equality is exact
+// by design: the tree uses it to detect branch-rectangle changes, and a
+// tolerance here would let a cover drift past its parent rectangle while
+// containment checks (which are exact) still fail. Use Feq for approximate
+// coordinate comparisons.
+//
+//seglint:allow floatcmp — exactness is load-bearing for change detection
 func (r Rect) Equal(s Rect) bool {
 	if r.Dims() != s.Dims() {
 		return false
@@ -318,8 +326,8 @@ func (r Rect) Remnants(region Rect) []Rect {
 // dimension 1. Degenerate denominators yield +Inf; 0/0 yields 1.
 func (r Rect) AspectRatio() float64 {
 	w, h := r.Length(0), r.Length(1)
-	if h == 0 {
-		if w == 0 {
+	if Fzero(h) {
+		if Fzero(w) {
 			return 1
 		}
 		return math.Inf(1)

@@ -31,10 +31,12 @@ func New(lo, hi float64, bins int) (*Histogram, error) {
 
 // Uniform returns a histogram representing a uniform distribution over
 // [lo, hi]; its quantiles are linear.
+//
+//seglint:allow nodepanic — Must-style constructor; panics only on an empty domain, which callers pass as validated configuration
 func Uniform(lo, hi float64) *Histogram {
 	h, err := New(lo, hi, 1)
 	if err != nil {
-		panic(err) // only on empty domain; Uniform callers pass domains
+		panic(err)
 	}
 	h.Bins[0] = 1
 	h.total = 1

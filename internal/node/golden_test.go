@@ -1,0 +1,171 @@
+package node
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"segidx/internal/geom"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden page images in testdata/")
+
+// goldenPageBytes is the page size all golden images are encoded at; small
+// enough to eyeball in a hex dump, large enough for every golden node.
+const goldenPageBytes = 512
+
+// goldenNodes enumerates representative page shapes. These double as a
+// frozen seed corpus: the .bin files pin the on-page layout (magic, header
+// fields, little-endian rect encoding), so any codec change that silently
+// breaks compatibility with existing stores fails this test.
+func goldenNodes() []struct {
+	name string
+	node *Node
+} {
+	return []struct {
+		name string
+		node *Node
+	}{
+		{
+			name: "empty_leaf",
+			node: &Node{ID: 1, Level: 0, Region: geom.EmptyRect(2)},
+		},
+		{
+			name: "leaf_records",
+			node: &Node{
+				ID: 7, Level: 0, Region: geom.EmptyRect(2),
+				Records: []Record{
+					{Rect: geom.Rect2(1, 2, 3, 4), ID: 100},
+					{Rect: geom.Rect2(0, 0, 0, 0), ID: 101},           // degenerate point
+					{Rect: geom.Rect2(-50.5, -1, 999.25, 1), ID: 102}, // negative + fractional
+				},
+			},
+		},
+		{
+			name: "skeleton_leaf_region",
+			node: &Node{
+				ID: 9, Level: 0, Region: geom.Rect2(0, 0, 250, 125),
+				Records: []Record{
+					{Rect: geom.Rect2(10, 10, 20, 20), ID: 5},
+				},
+			},
+		},
+		{
+			name: "interior_branches",
+			node: &Node{
+				ID: 12, Level: 2, Region: geom.EmptyRect(2),
+				Branches: []Branch{
+					{Rect: geom.Rect2(0, 0, 100, 100), Child: 3},
+					{Rect: geom.Rect2(100, 0, 200, 100), Child: 4},
+					{Rect: geom.Rect2(0, 100, 200, 200), Child: 5},
+				},
+			},
+		},
+		{
+			name: "interior_spanning",
+			node: &Node{
+				ID: 21, Level: 1, Region: geom.Rect2(0, 0, 400, 400),
+				Branches: []Branch{
+					{Rect: geom.Rect2(0, 0, 200, 400), Child: 30},
+					{Rect: geom.Rect2(200, 0, 400, 400), Child: 31},
+				},
+				Records: []Record{
+					{Rect: geom.Rect2(0, 150, 210, 160), ID: 77, Span: 30},
+					{Rect: geom.Rect2(190, 10, 400, 15), ID: 78, Span: 31},
+				},
+			},
+		},
+	}
+}
+
+// TestGoldenPages marshals each golden node and compares the page image
+// byte-for-byte against testdata/<name>.bin, then decodes the stored image
+// and compares the structure. Run with -update to regenerate after a
+// deliberate format change (and note it in DESIGN.md: stores written by
+// older builds become unreadable).
+func TestGoldenPages(t *testing.T) {
+	c := Codec{Dims: 2}
+	for _, g := range goldenNodes() {
+		t.Run(g.name, func(t *testing.T) {
+			got, err := c.Marshal(g.node, goldenPageBytes)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			path := filepath.Join("testdata", g.name+".bin")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden image (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("page image for %s deviates from golden file %s:\n%s",
+					g.name, path, diffOffsets(got, want))
+			}
+
+			decoded, err := c.Unmarshal(want, g.node.ID)
+			if err != nil {
+				t.Fatalf("Unmarshal golden image: %v", err)
+			}
+			if decoded.ID != g.node.ID || decoded.Level != g.node.Level {
+				t.Fatalf("decoded header %v@%d, want %v@%d", decoded.ID, decoded.Level, g.node.ID, g.node.Level)
+			}
+			if decoded.HasRegion() != g.node.HasRegion() {
+				t.Fatalf("decoded region presence %v, want %v", decoded.HasRegion(), g.node.HasRegion())
+			}
+			if g.node.HasRegion() && !decoded.Region.Equal(g.node.Region) {
+				t.Fatalf("decoded region %v, want %v", decoded.Region, g.node.Region)
+			}
+			if !reflect.DeepEqual(normalize(decoded.Branches), normalize(g.node.Branches)) {
+				t.Fatalf("decoded branches %+v, want %+v", decoded.Branches, g.node.Branches)
+			}
+			if !reflect.DeepEqual(normalizeRecords(decoded.Records), normalizeRecords(g.node.Records)) {
+				t.Fatalf("decoded records %+v, want %+v", decoded.Records, g.node.Records)
+			}
+		})
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for DeepEqual.
+func normalize(b []Branch) []Branch {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+func normalizeRecords(r []Record) []Record {
+	if len(r) == 0 {
+		return nil
+	}
+	return r
+}
+
+// diffOffsets summarizes where two page images deviate.
+func diffOffsets(got, want []byte) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("length %d, golden %d", len(got), len(want))
+	}
+	var b bytes.Buffer
+	shown := 0
+	for i := range got {
+		if got[i] != want[i] {
+			fmt.Fprintf(&b, "  offset %#04x: got %#02x, golden %#02x\n", i, got[i], want[i])
+			if shown++; shown == 8 {
+				fmt.Fprintf(&b, "  ... further deviations suppressed\n")
+				break
+			}
+		}
+	}
+	return b.String()
+}

@@ -131,6 +131,7 @@ func (d Dataset) Generate(count int, seed uint64) []geom.Rect {
 	return out
 }
 
+//seglint:allow nodepanic — exhaustive switch over the Dataset enum; an unknown value is a programming error at the call site, not a runtime input
 func (d Dataset) next(rng *RNG) geom.Rect {
 	switch d {
 	case I1:

@@ -169,18 +169,14 @@ func (x *Index) CheckInvariants() error { return x.eng.CheckInvariants() }
 func (x *Index) Analyze() (*Report, error) { return x.eng.Analyze() }
 
 // Close flushes and releases the index and, when the index owns its store
-// (default in-memory store or WithFile), closes the store.
+// (default in-memory store or WithFile), closes the store. The store is
+// closed even when the flush fails; all errors are reported.
 func (x *Index) Close() error {
-	if err := x.eng.Flush(); err != nil {
-		if x.owned {
-			x.st.Close()
-		}
-		return err
-	}
+	err := x.eng.Flush()
 	if x.owned {
-		return x.st.Close()
+		err = errors.Join(err, x.st.Close())
 	}
-	return nil
+	return err
 }
 
 // SkeletonEstimate describes the expected input for skeleton
@@ -241,7 +237,7 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 	}
 	fail := func(err error) (*Index, error) {
 		if owned {
-			st.Close()
+			err = errors.Join(err, st.Close())
 		}
 		return nil, err
 	}
@@ -296,7 +292,7 @@ func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, 
 	t, err := core.BulkLoad(cfg, st, records, fill)
 	if err != nil {
 		if owned {
-			st.Close()
+			err = errors.Join(err, st.Close())
 		}
 		return nil, err
 	}
@@ -318,8 +314,7 @@ func Open(path string, opts ...Option) (*Index, error) {
 	}
 	meta, err := core.ReadMeta(fs)
 	if err != nil {
-		fs.Close()
-		return nil, err
+		return nil, errors.Join(err, fs.Close())
 	}
 	cfg := o.cfg
 	cfg.Dims = meta.Dims
@@ -328,8 +323,7 @@ func Open(path string, opts ...Option) (*Index, error) {
 	cfg.Spanning = meta.Spanning
 	t, err := core.Open(cfg, fs)
 	if err != nil {
-		fs.Close()
-		return nil, err
+		return nil, errors.Join(err, fs.Close())
 	}
 	kind := "r-tree"
 	if meta.Spanning {
