@@ -1,0 +1,152 @@
+package segidx
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism reports the worker bound the batch APIs use: the value set
+// by WithParallelism or SetParallelism, or GOMAXPROCS when unset.
+func (x *Index) Parallelism() int {
+	if n := x.par.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism changes the worker bound for subsequent batch calls
+// (0 restores the GOMAXPROCS default). Safe to call concurrently; batch
+// operations already in flight keep the bound they started with.
+func (x *Index) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	x.par.Store(int32(n))
+}
+
+// SearchBatch runs Search for every query concurrently, with at most
+// Parallelism() goroutines, and returns the results in query order:
+// results[i] holds the records intersecting queries[i], deduplicated by
+// ID, exactly as a sequential Search(queries[i]) would return them.
+//
+// The first error stops the batch and is returned; a canceled context
+// returns ctx.Err(). On error the partial results are discarded. A nil
+// ctx is treated as context.Background().
+func (x *Index) SearchBatch(ctx context.Context, queries []Rect) ([][]Entry, error) {
+	results := make([][]Entry, len(queries))
+	err := x.runBatch(ctx, len(queries), func(i int) error {
+		out, err := x.eng.Search(queries[i])
+		if err != nil {
+			return err
+		}
+		results[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// StabBatch runs Stab for every point concurrently (see SearchBatch for
+// ordering, parallelism, and error semantics). Each point is a coordinate
+// slice of the index's dimensionality.
+func (x *Index) StabBatch(ctx context.Context, points [][]float64) ([][]Entry, error) {
+	results := make([][]Entry, len(points))
+	err := x.runBatch(ctx, len(points), func(i int) error {
+		out, err := x.eng.SearchContaining(Point(points[i]...))
+		if err != nil {
+			return err
+		}
+		results[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// InsertBatch inserts every record through a pool of at most
+// Parallelism() workers. Inserts serialize internally behind the index's
+// write lock, so the pool bounds goroutines rather than promising linear
+// speedup; it exists so producers can hand over a slab of records and
+// overlap their own work with the index build.
+//
+// The first error cancels the remaining work and is returned. Records
+// already handed to workers when the error occurred may or may not have
+// been inserted — on error, callers that need exactness should rebuild or
+// reconcile via Search. A nil ctx is treated as context.Background().
+func (x *Index) InsertBatch(ctx context.Context, records []BulkRecord) error {
+	return x.runBatch(ctx, len(records), func(i int) error {
+		return x.eng.Insert(records[i].Rect, records[i].ID)
+	})
+}
+
+// runBatch executes fn(0..n-1) across a bounded worker pool, returning
+// the first error (worker or context). Indexes are claimed from an atomic
+// cursor so completion order is irrelevant to callers that write results
+// into index i of a pre-sized slice.
+func (x *Index) runBatch(ctx context.Context, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := x.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		e := err
+		if firstErr.CompareAndSwap(nil, &e) {
+			cancel()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}

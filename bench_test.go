@@ -11,9 +11,11 @@ package segidx_test
 // scale (cmd/segbench runs the full experiment with per-QAR breakdowns).
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"segidx"
@@ -211,6 +213,52 @@ func BenchmarkSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSearchParallel measures concurrent search throughput per index
+// type on I3 with b.RunParallel; compare the per-op time against
+// BenchmarkSearch at the same -cpu to get the read scale-up factor
+// (EXPERIMENTS.md records the numbers).
+func BenchmarkSearchParallel(b *testing.B) {
+	for _, kind := range harness.AllKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			spec := harness.NewSpec("search-parallel", workload.I3, benchTuples())
+			idx := buildFor(b, spec, kind)
+			defer idx.Close()
+			queries := workload.Queries(1, 64, spec.Seed)
+			var goroutines atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Stagger each goroutine's starting query so concurrent
+				// workers do not walk the same tree path in lockstep.
+				i := int(goroutines.Add(1)) * 17
+				for pb.Next() {
+					if _, err := idx.Search(queries[i%len(queries)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSearchBatch measures SearchBatch throughput (the whole QAR mix
+// as one batch) at the worker bound given by -cpu.
+func BenchmarkSearchBatch(b *testing.B) {
+	spec := harness.NewSpec("search-batch", workload.I3, benchTuples())
+	idx := buildFor(b, spec, harness.KindSRTree)
+	defer idx.Close()
+	queries := workload.Queries(1, 256, spec.Seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.SearchBatch(context.Background(), queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(queries)), "queries/op")
 }
 
 // BenchmarkStab measures stabbing-query latency on the SR-Tree.

@@ -83,7 +83,7 @@ func runAblation(name string, tuples, queries int, seed uint64, csv, check bool,
 			if err != nil {
 				return err
 			}
-			emit(res, csv, false)
+			emit(res, csv, false, false)
 		}
 		return nil
 	case "leafpromo":
@@ -109,7 +109,7 @@ func runAblation(name string, tuples, queries int, seed uint64, csv, check bool,
 		if err != nil {
 			return err
 		}
-		emit(res, csv, false)
+		emit(res, csv, false, false)
 	}
 	return nil
 }

@@ -8,7 +8,9 @@
 //	segbench -graph 3                 # Graph 3 at the paper's 200K tuples
 //	segbench -all -tuples 100000      # all graphs at 100K
 //	segbench -graph 6 -chart          # include an ASCII rendering
+//	segbench -graph 3 -json           # machine-readable BENCH JSON lines
 //	segbench -ablation reserve        # branch-reserve sweep (A1)
+//	segbench -parallel -workers 1,4,8 # concurrent read scale-up (BENCH JSON)
 //	segbench -list                    # what can be run
 package main
 
@@ -31,6 +33,7 @@ func main() {
 		queries  = flag.Int("queries", workload.QueriesPerQAR, "searches per QAR")
 		seed     = flag.Uint64("seed", 1991, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "emit BENCH JSON lines instead of tables")
 		chart    = flag.Bool("chart", false, "also render ASCII charts")
 		check    = flag.Bool("check", false, "validate index invariants after each build (slow)")
 		ablation = flag.String("ablation", "", "run an ablation: reserve | nodesize | predict | coalesce | leafpromo | packing")
@@ -38,6 +41,8 @@ func main() {
 		list     = flag.Bool("list", false, "list runnable experiments and exit")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		verify   = flag.Bool("verify", false, "run graphs 1-6 and check the paper's qualitative claims")
+		parallel = flag.Bool("parallel", false, "run the concurrent read scale-up experiment (emits BENCH JSON)")
+		workers  = flag.String("workers", "1,2,4,8", "worker counts for -parallel, ascending")
 	)
 	flag.Parse()
 
@@ -48,6 +53,21 @@ func main() {
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	if *parallel {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		k, err := parseKinds(*kinds)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runParallel(*tuples, *queries, *seed, k, ws, progress); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *ablation != "" {
@@ -119,14 +139,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emit(res, *csv, *chart)
+		emit(res, *csv, *jsonOut, *chart)
 	}
 }
 
-func emit(res *harness.Result, csv, chart bool) {
-	if csv {
+func emit(res *harness.Result, csv, jsonOut, chart bool) {
+	switch {
+	case jsonOut:
+		fmt.Print(res.BenchJSON())
+	case csv:
 		fmt.Printf("# %s\n%s\n", res.Spec.Name, res.CSV())
-	} else {
+	default:
 		fmt.Println(res.Table())
 		fmt.Println(res.BuildSummary())
 	}

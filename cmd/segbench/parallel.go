@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+// The -parallel mode measures concurrent read scale-up: it builds each
+// index type once, then replays the same query set through SearchBatch at
+// increasing worker counts, reporting wall-clock throughput, speedup over
+// the first worker count, and the buffer pool counter deltas for each
+// run. Output is BENCH JSON (one line per kind x worker count) so the
+// numbers are machine-readable alongside the human summary on stderr.
+
+type parallelJSON struct {
+	Experiment     string           `json:"experiment"`
+	Kind           string           `json:"kind"`
+	Tuples         int              `json:"tuples"`
+	Seed           uint64           `json:"seed"`
+	Workers        int              `json:"workers"`
+	Queries        int              `json:"queries"`
+	ElapsedMS      float64          `json:"elapsed_ms"`
+	QPS            float64          `json:"qps"`
+	Speedup        float64          `json:"speedup"`
+	NodesPerSearch float64          `json:"nodes_per_search"`
+	Pool           harness.PoolJSON `json:"pool"`
+}
+
+// parseWorkers parses the -workers list ("1,2,4,8") into ascending worker
+// counts.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers value %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workers list")
+	}
+	return out, nil
+}
+
+// runParallel executes the scale-up experiment and prints BENCH JSON
+// lines to stdout.
+func runParallel(tuples, queriesPerQAR int, seed uint64, kinds []harness.Kind, workers []int, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	if len(kinds) == 0 {
+		kinds = harness.AllKinds()
+	}
+	spec := harness.NewSpec("parallel scale-up (I3)", workload.I3, tuples)
+	spec.Seed = seed
+	if queriesPerQAR > 0 {
+		spec.QueriesPerQAR = queriesPerQAR
+	}
+	// The paper's full QAR sweep, flattened into one batch.
+	var queries []segidx.Rect
+	for _, qar := range spec.QARs {
+		queries = append(queries, workload.Queries(qar, spec.QueriesPerQAR, spec.Seed)...)
+	}
+	for _, kind := range kinds {
+		idx, buildTime, err := harness.Build(spec, kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "%-17s built: %d tuples in %v\n", kind, spec.Tuples, buildTime.Round(time.Millisecond))
+		// One untimed pass warms the pool so every timed run sees the
+		// same residency.
+		if _, err := idx.SearchBatch(context.Background(), queries); err != nil {
+			idx.Close()
+			return err
+		}
+		baseQPS := 0.0
+		for _, w := range workers {
+			idx.SetParallelism(w)
+			poolBefore := idx.PoolStats()
+			statsBefore := idx.Stats()
+			start := time.Now()
+			if _, err := idx.SearchBatch(context.Background(), queries); err != nil {
+				idx.Close()
+				return err
+			}
+			elapsed := time.Since(start)
+			statsAfter := idx.Stats()
+			pool := harness.PoolDelta(poolBefore, idx.PoolStats())
+			qps := float64(len(queries)) / elapsed.Seconds()
+			if baseQPS == 0 {
+				baseQPS = qps
+			}
+			nps := 0.0
+			if d := statsAfter.Searches - statsBefore.Searches; d > 0 {
+				nps = float64(statsAfter.SearchNodeAccesses-statsBefore.SearchNodeAccesses) / float64(d)
+			}
+			line := parallelJSON{
+				Experiment:     "parallel",
+				Kind:           kind.String(),
+				Tuples:         spec.Tuples,
+				Seed:           spec.Seed,
+				Workers:        w,
+				Queries:        len(queries),
+				ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+				QPS:            qps,
+				Speedup:        qps / baseQPS,
+				NodesPerSearch: nps,
+				Pool:           harness.NewPoolJSON(pool),
+			}
+			buf, err := json.Marshal(line)
+			if err != nil {
+				idx.Close()
+				return err
+			}
+			fmt.Printf("BENCH %s\n", buf)
+			fmt.Fprintf(progress, "%-17s workers=%-3d %8.0f q/s  speedup %.2fx  pool hit %.1f%%\n",
+				kind, w, qps, qps/baseQPS, 100*pool.HitRate())
+		}
+		if err := idx.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -114,6 +114,35 @@ func (t *Tree) Allowed() int { return t.helper() }
 
 // NoHelpers needs no lock because it calls no locked helper.
 func (t *Tree) NoHelpers() int { return 42 }
+
+// evictLocked is a locked helper by naming convention alone (no doc
+// phrase); it must not re-acquire, and exported callers must lock first.
+func (t *Tree) evictLocked() {
+	t.mu.Lock() // want lockcheck
+	t.size--
+	t.mu.Unlock() // want lockcheck
+}
+
+// Shrink calls a Locked-suffix helper without acquiring.
+func (t *Tree) Shrink() {
+	t.evictLocked() // want lockcheck
+}
+
+// ShrinkSafe locks first.
+func (t *Tree) ShrinkSafe() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictLocked()
+}
+
+// shardHelper uses the striped-pool phrasing. The caller must hold the
+// shard lock.
+func (t *Tree) shardHelper() int { return t.size }
+
+// ShardUser calls it without locking.
+func (t *Tree) ShardUser() int {
+	return t.shardHelper() // want lockcheck
+}
 `)
 }
 

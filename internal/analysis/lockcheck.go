@@ -5,13 +5,16 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 )
 
 // LockCheck enforces the tree's documented lock discipline.
 //
 // A function whose doc comment declares that the caller must hold the lock
-// (phrases like "caller must hold t.mu" or "requires the write lock") is a
-// *locked helper*. Two rules follow:
+// (phrases like "caller must hold t.mu", "requires the write lock", or
+// "must hold the shard lock"), or whose name carries the repo's "Locked"
+// suffix convention (evictLocked, writeBackLocked, ...), is a *locked
+// helper*. Two rules follow:
 //
 //  1. A locked helper must not itself acquire or release the mutex: Go's
 //     sync.(RW)Mutex is not reentrant, so re-acquiring under the held lock
@@ -35,7 +38,14 @@ var LockCheck = &Analyzer{
 }
 
 // lockDocRe recognizes the doc-comment phrases that mark a locked helper.
-var lockDocRe = regexp.MustCompile(`(?i)(callers?\s+must\s+hold|requires)\s+(the\s+)?((write|read)\s+lock|lock|t\.mu|[a-z]+\.mu)`)
+var lockDocRe = regexp.MustCompile(`(?i)(callers?\s+must\s+hold|requires)\s+(the\s+)?((write|read|shard)\s+lock|lock|t\.mu|[a-z]+\.mu)`)
+
+// lockedByName reports whether a function name follows the "Locked"
+// suffix convention, which marks a locked helper even without the doc
+// phrase.
+func lockedByName(name string) bool {
+	return len(name) > len("Locked") && strings.HasSuffix(name, "Locked")
+}
 
 // lockMethodNames are the sync.Mutex/RWMutex methods of interest.
 var lockAcquire = map[string]bool{"Lock": true, "RLock": true}
@@ -47,10 +57,11 @@ func runLockCheck(p *Pass) {
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
+			if !ok {
 				continue
 			}
-			if lockDocRe.MatchString(fd.Doc.Text()) {
+			byDoc := fd.Doc != nil && lockDocRe.MatchString(fd.Doc.Text())
+			if byDoc || lockedByName(fd.Name.Name) {
 				if obj := p.Info.Defs[fd.Name]; obj != nil {
 					locked[obj] = fd
 				}
@@ -93,7 +104,7 @@ func (p *Pass) checkNoMutexOps(fd *ast.FuncDecl) {
 			verb = "releases"
 		}
 		p.Reportf(call.Pos(),
-			"%s is documented as requiring the caller to hold the lock but %s it (.mu.%s); sync mutexes are not reentrant",
+			"%s requires the caller to hold the lock but %s it (.mu.%s); sync mutexes are not reentrant",
 			fd.Name.Name, verb, method)
 		return true
 	})

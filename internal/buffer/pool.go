@@ -7,6 +7,15 @@
 // This mirrors a conventional database buffer manager while letting the
 // index algorithms work on structured nodes rather than raw bytes.
 //
+// The pool is lock-striped: pages hash to one of N shards, each with its
+// own mutex, LRU list, byte budget, and counters. Concurrent readers
+// touching different pages therefore proceed without contending on a
+// single pool-wide lock; only accesses to pages in the same shard
+// serialize. The byte budget is split evenly across shards, so the global
+// cap is approximate under skewed residency (a shard never exceeds its
+// slice, but an idle shard's slack is not lent to a hot one). NewSharded
+// with a shard count of 1 restores the exact single-LRU semantics.
+//
 // The paper's search-cost metric (average index nodes accessed per search)
 // is independent of buffer residency; the pool's hit/miss statistics are
 // additional observability on top of that logical metric.
@@ -16,6 +25,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"segidx/internal/node"
@@ -26,13 +36,31 @@ import (
 // ErrPinned is returned when an operation requires an unpinned frame.
 var ErrPinned = errors.New("buffer: page is pinned")
 
-// Stats counts pool activity since creation.
+// Stats counts pool activity since creation. For a sharded pool the
+// counters are aggregated across shards.
 type Stats struct {
 	Gets      uint64 // Get calls
 	Hits      uint64 // Get calls satisfied from memory
 	Misses    uint64 // Get calls that read from the store
 	Evictions uint64 // frames evicted to honor the budget
 	Writes    uint64 // dirty pages written back
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Gets += o.Gets
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writes += o.Writes
+}
+
+// HitRate returns Hits/Gets, or 0 when no Gets happened.
+func (s Stats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
 }
 
 type frame struct {
@@ -43,29 +71,93 @@ type frame struct {
 	elem  *list.Element // position in lru; nil while pinned
 }
 
-// Pool is a pinning LRU buffer pool. The zero value is not usable; use New.
-type Pool struct {
+// shard is one lock stripe: an independent LRU pool over the pages that
+// hash to it.
+type shard struct {
 	mu       sync.Mutex
-	store    store.Store
-	codec    node.Codec
-	budget   int // max resident bytes; 0 means unlimited
+	budget   int // max resident bytes in this shard; 0 means unlimited
 	resident map[page.ID]*frame
 	lru      *list.List // unpinned frames, front = most recently used
-	bytes    int        // total resident bytes
+	bytes    int        // total resident bytes in this shard
 	stats    Stats
+
+	// pad keeps neighboring shards' mutexes off one cache line.
+	_ [64]byte
 }
 
-// New creates a pool over the given store. budgetBytes caps resident node
-// bytes (0 = unlimited). The pool must outlive every node pointer handed
-// out while pinned.
-func New(st store.Store, codec node.Codec, budgetBytes int) *Pool {
-	return &Pool{
-		store:    st,
-		codec:    codec,
-		budget:   budgetBytes,
-		resident: make(map[page.ID]*frame),
-		lru:      list.New(),
+// Pool is a pinning, lock-striped LRU buffer pool. The zero value is not
+// usable; use New or NewSharded.
+type Pool struct {
+	store  store.Store
+	codec  node.Codec
+	shards []shard
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+}
+
+// defaultShardCount sizes the stripe set to the parallelism available at
+// construction time: at least 8 shards so small machines still spread
+// collisions, at most 128, rounded up to a power of two.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0) * 4
+	if n < 8 {
+		n = 8
 	}
+	if n > 128 {
+		n = 128
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New creates a pool over the given store with the default shard count.
+// budgetBytes caps resident node bytes (0 = unlimited). The pool must
+// outlive every node pointer handed out while pinned.
+func New(st store.Store, codec node.Codec, budgetBytes int) *Pool {
+	return NewSharded(st, codec, budgetBytes, 0)
+}
+
+// NewSharded creates a pool with an explicit shard count (rounded up to a
+// power of two; <= 0 selects the default). One shard gives a single global
+// LRU with an exact byte budget; more shards trade budget precision for
+// concurrent throughput.
+func NewSharded(st store.Store, codec node.Codec, budgetBytes, shards int) *Pool {
+	if shards <= 0 {
+		shards = defaultShardCount()
+	}
+	shards = ceilPow2(shards)
+	p := &Pool{
+		store:  st,
+		codec:  codec,
+		shards: make([]shard, shards),
+		mask:   uint64(shards - 1),
+	}
+	perShard := 0
+	if budgetBytes > 0 {
+		perShard = (budgetBytes + shards - 1) / shards
+	}
+	for i := range p.shards {
+		p.shards[i].budget = perShard
+		p.shards[i].resident = make(map[page.ID]*frame)
+		p.shards[i].lru = list.New()
+	}
+	return p
+}
+
+// Shards reports the number of lock stripes.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor maps a page ID to its stripe. Sequentially allocated IDs are
+// mixed (Fibonacci hashing) so tree levels do not clump into one shard.
+func (p *Pool) shardFor(id page.ID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &p.shards[(h>>32)&p.mask]
 }
 
 // NewNode allocates a fresh page of pageBytes in the store and returns the
@@ -76,29 +168,31 @@ func (p *Pool) NewNode(level, pageBytes int) (*node.Node, error) {
 		return nil, err
 	}
 	n := &node.Node{ID: id, Level: level}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.resident[id] = &frame{n: n, bytes: pageBytes, pins: 1, dirty: true}
-	p.bytes += pageBytes
-	p.evictLocked()
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resident[id] = &frame{n: n, bytes: pageBytes, pins: 1, dirty: true}
+	s.bytes += pageBytes
+	p.evictLocked(s)
 	return n, nil
 }
 
 // Get returns the node for id, pinned. Every Get must be paired with an
 // Unpin.
 func (p *Pool) Get(id page.ID) (*node.Node, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Gets++
-	if f, ok := p.resident[id]; ok {
-		p.stats.Hits++
-		p.pinLocked(f)
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	if f, ok := s.resident[id]; ok {
+		s.stats.Hits++
+		s.pinLocked(f)
 		return f.n, nil
 	}
-	p.stats.Misses++
-	// Read outside would allow concurrent duplicate decodes; for the
-	// single-writer workloads of a segment index the simplicity of holding
-	// the lock across the read is preferred.
+	s.stats.Misses++
+	// The store read happens under the shard lock: releasing it would
+	// allow concurrent duplicate decodes of the same page, and only
+	// accesses hashing to this shard wait behind the read.
 	buf, err := p.store.Read(id)
 	if err != nil {
 		return nil, err
@@ -108,18 +202,19 @@ func (p *Pool) Get(id page.ID) (*node.Node, error) {
 		return nil, fmt.Errorf("buffer: decode %v: %w", id, err)
 	}
 	f := &frame{n: n, bytes: len(buf), pins: 1}
-	p.resident[id] = f
-	p.bytes += len(buf)
-	p.evictLocked()
+	s.resident[id] = f
+	s.bytes += len(buf)
+	p.evictLocked(s)
 	return n, nil
 }
 
 // Unpin releases one pin. dirty marks the node as modified since fetch; it
 // will be written back before eviction or on Flush.
 func (p *Pool) Unpin(id page.ID, dirty bool) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.resident[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.resident[id]
 	if !ok {
 		return fmt.Errorf("buffer: unpin of non-resident %v", id)
 	}
@@ -131,50 +226,54 @@ func (p *Pool) Unpin(id page.ID, dirty bool) error {
 		f.dirty = true
 	}
 	if f.pins == 0 {
-		f.elem = p.lru.PushFront(f.n.ID)
-		p.evictLocked()
+		f.elem = s.lru.PushFront(f.n.ID)
+		p.evictLocked(s)
 	}
 	return nil
 }
 
-func (p *Pool) pinLocked(f *frame) {
+// pinLocked pins a frame, removing it from the shard's LRU if it was
+// unpinned. The caller must hold the shard lock.
+func (s *shard) pinLocked(f *frame) {
 	if f.pins == 0 && f.elem != nil {
-		p.lru.Remove(f.elem)
+		s.lru.Remove(f.elem)
 		f.elem = nil
 	}
 	f.pins++
 }
 
-// evictLocked evicts least-recently-used unpinned frames until the budget
-// is honored. Frames that fail to serialize stay resident (the error will
-// resurface on Flush).
-func (p *Pool) evictLocked() {
-	if p.budget <= 0 {
+// evictLocked evicts least-recently-used unpinned frames of the shard
+// until its budget is honored. Frames that fail to serialize stay resident
+// (the error will resurface on Flush). The caller must hold s.mu.
+func (p *Pool) evictLocked(s *shard) {
+	if s.budget <= 0 {
 		return
 	}
-	for p.bytes > p.budget {
-		back := p.lru.Back()
+	for s.bytes > s.budget {
+		back := s.lru.Back()
 		if back == nil {
 			return // everything pinned; cannot evict further
 		}
 		id := back.Value.(page.ID)
-		f := p.resident[id]
+		f := s.resident[id]
 		if f.dirty {
-			if err := p.writeBackLocked(f); err != nil {
+			if err := p.writeBackLocked(s, f); err != nil {
 				// Keep the frame; skip eviction this round to avoid
 				// data loss. Promote it so we do not spin on it.
-				p.lru.MoveToFront(back)
+				s.lru.MoveToFront(back)
 				return
 			}
 		}
-		p.lru.Remove(back)
-		delete(p.resident, id)
-		p.bytes -= f.bytes
-		p.stats.Evictions++
+		s.lru.Remove(back)
+		delete(s.resident, id)
+		s.bytes -= f.bytes
+		s.stats.Evictions++
 	}
 }
 
-func (p *Pool) writeBackLocked(f *frame) error {
+// writeBackLocked serializes a dirty frame to the store. The caller must
+// hold s.mu.
+func (p *Pool) writeBackLocked(s *shard, f *frame) error {
 	buf, err := p.codec.Marshal(f.n, f.bytes)
 	if err != nil {
 		return err
@@ -182,21 +281,26 @@ func (p *Pool) writeBackLocked(f *frame) error {
 	if err := p.store.Write(f.n.ID, buf); err != nil {
 		return err
 	}
-	p.stats.Writes++
+	s.stats.Writes++
 	f.dirty = false
 	return nil
 }
 
-// Flush writes every dirty resident node back to the store.
+// Flush writes every dirty resident node back to the store, shard by
+// shard.
 func (p *Pool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.resident {
-		if f.dirty {
-			if err := p.writeBackLocked(f); err != nil {
-				return err
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.resident {
+			if f.dirty {
+				if err := p.writeBackLocked(s, f); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -204,42 +308,71 @@ func (p *Pool) Flush() error {
 // Free drops the node from the pool and releases its page in the store.
 // The node must be unpinned.
 func (p *Pool) Free(id page.ID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.resident[id]; ok {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	if f, ok := s.resident[id]; ok {
 		if f.pins > 0 {
+			s.mu.Unlock()
 			return ErrPinned
 		}
 		if f.elem != nil {
-			p.lru.Remove(f.elem)
+			s.lru.Remove(f.elem)
 		}
-		delete(p.resident, id)
-		p.bytes -= f.bytes
+		delete(s.resident, id)
+		s.bytes -= f.bytes
 	}
+	s.mu.Unlock()
 	return p.store.Free(id)
 }
 
 // PageBytes reports the on-page size of a resident or stored node.
 func (p *Pool) PageBytes(id page.ID) (int, error) {
-	p.mu.Lock()
-	if f, ok := p.resident[id]; ok {
-		p.mu.Unlock()
+	s := p.shardFor(id)
+	s.mu.Lock()
+	if f, ok := s.resident[id]; ok {
+		s.mu.Unlock()
 		return f.bytes, nil
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return p.store.PageSize(id)
 }
 
-// Resident reports the number of nodes currently in memory.
+// Resident reports the number of nodes currently in memory across all
+// shards.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.resident)
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total += len(s.resident)
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Stats returns a snapshot of pool counters.
+// Stats returns pool counters aggregated across shards. Shards are
+// snapshotted one at a time, so under concurrent load the aggregate is a
+// consistent-per-shard, approximate-global view.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out Stats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats returns a per-shard snapshot of the counters, in shard order.
+// Intended for tests and diagnostics.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }

@@ -2,6 +2,8 @@ package buffer
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"segidx/internal/geom"
@@ -10,10 +12,14 @@ import (
 	"segidx/internal/store"
 )
 
+// newPool builds a single-shard pool: the legacy tests in this file assert
+// exact byte-budget and LRU-order behavior, which only one shard provides
+// (a sharded pool splits the budget per stripe). The shard-specific tests
+// below construct multi-shard pools explicitly.
 func newPool(t *testing.T, budget int) (*Pool, *store.MemStore) {
 	t.Helper()
 	st := store.NewMemStore()
-	return New(st, node.Codec{Dims: 2}, budget), st
+	return NewSharded(st, node.Codec{Dims: 2}, budget, 1), st
 }
 
 func addRecord(n *node.Node, id uint64) {
@@ -259,6 +265,224 @@ func TestPinChurnUnderPressure(t *testing.T) {
 	}
 	if p.Stats().Evictions == 0 {
 		t.Fatal("no evictions; pressure test is vacuous")
+	}
+}
+
+// TestPoolShardAccounting checks the aggregate counters of a multi-shard
+// pool: Stats() must equal the sum of ShardStats(), Hits+Misses must
+// equal Gets, and the shard count must round up to a power of two.
+func TestPoolShardAccounting(t *testing.T) {
+	st := store.NewMemStore()
+	p := NewSharded(st, node.Codec{Dims: 2}, 4*1024, 7) // rounds up to 8
+	if got := p.Shards(); got != 8 {
+		t.Fatalf("Shards = %d, want 8 (rounded up from 7)", got)
+	}
+	var ids []page.ID
+	for i := 0; i < 24; i++ {
+		n, err := p.NewNode(0, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addRecord(n, uint64(i+1))
+		ids = append(ids, n.ID)
+		if err := p.Unpin(n.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-read every page a few times to generate hits and misses.
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			n, err := p.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(n.Records) != 1 {
+				t.Fatalf("page %v contents lost", id)
+			}
+			if err := p.Unpin(id, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	agg := p.Stats()
+	var sum Stats
+	perShard := p.ShardStats()
+	if len(perShard) != p.Shards() {
+		t.Fatalf("ShardStats returned %d entries, want %d", len(perShard), p.Shards())
+	}
+	for _, s := range perShard {
+		sum.add(s)
+	}
+	if agg != sum {
+		t.Fatalf("Stats() = %+v, sum of ShardStats() = %+v", agg, sum)
+	}
+	if agg.Gets != agg.Hits+agg.Misses {
+		t.Fatalf("Gets %d != Hits %d + Misses %d", agg.Gets, agg.Hits, agg.Misses)
+	}
+	if agg.Gets != uint64(3*len(ids)) {
+		t.Fatalf("Gets = %d, want %d", agg.Gets, 3*len(ids))
+	}
+	if agg.Misses == 0 || agg.Evictions == 0 {
+		t.Fatalf("expected evictions under a tight budget: %+v", agg)
+	}
+}
+
+// TestPoolShardPinnedNeverEvicted pins a set of nodes spread across the
+// shards of a pool with a budget far below the pinned footprint, churns
+// unpinned pages through every shard, and checks each pinned pointer
+// still resolves to the identical in-memory node.
+func TestPoolShardPinnedNeverEvicted(t *testing.T) {
+	st := store.NewMemStore()
+	p := NewSharded(st, node.Codec{Dims: 2}, 2*1024, 8)
+	const pinned = 12
+	type held struct {
+		id page.ID
+		n  *node.Node
+	}
+	var hold []held
+	for i := 0; i < pinned; i++ {
+		n, err := p.NewNode(0, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addRecord(n, uint64(9000+i))
+		hold = append(hold, held{n.ID, n}) // stays pinned
+	}
+	// Churn: allocate and release far more bytes than the budget so every
+	// shard evicts whatever it legally can.
+	for i := 0; i < 64; i++ {
+		n, err := p.NewNode(0, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin(n.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("no evictions; churn is vacuous")
+	}
+	for i, h := range hold {
+		got, err := p.Get(h.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h.n {
+			t.Fatalf("pinned node %d was evicted and re-decoded", i)
+		}
+		if got.Records[0].ID != node.RecordID(9000+i) {
+			t.Fatalf("pinned node %d contents changed", i)
+		}
+		p.Unpin(h.id, false) // release the Get pin
+		p.Unpin(h.id, true)  // release the original pin
+	}
+}
+
+// TestPoolConcurrentHammer drives a multi-shard pool from many goroutines
+// under -race: all goroutines re-read a shared set of pages (including
+// IDs that collide onto the same shard), each goroutine mutates a private
+// page, and Flush/Stats/Resident run concurrently. Final contents are
+// verified after the storm.
+func TestPoolConcurrentHammer(t *testing.T) {
+	st := store.NewMemStore()
+	p := NewSharded(st, node.Codec{Dims: 2}, 8*1024, 4)
+	const (
+		sharedPages = 16
+		goroutines  = 8
+		iters       = 300
+	)
+	shared := make([]page.ID, sharedPages)
+	for i := range shared {
+		n, err := p.NewNode(0, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addRecord(n, uint64(i+1))
+		shared[i] = n.ID
+		if err := p.Unpin(n.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	private := make([]page.ID, goroutines)
+	for g := range private {
+		n, err := p.NewNode(0, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addRecord(n, uint64(100+g))
+		private[g] = n.ID
+		if err := p.Unpin(n.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines+1)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Read-only access to a shared page; offsets by goroutine so
+				// colliding IDs hit the same shard from different goroutines.
+				id := shared[(i+g*3)%sharedPages]
+				n, err := p.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(n.Records) != 1 {
+					errs <- fmt.Errorf("shared page %v lost its record", id)
+					return
+				}
+				if err := p.Unpin(id, false); err != nil {
+					errs <- err
+					return
+				}
+				// Mutate this goroutine's private page.
+				pn, err := p.Get(private[g])
+				if err != nil {
+					errs <- err
+					return
+				}
+				pn.Records[0].ID = node.RecordID(1000*g + i)
+				if err := p.Unpin(private[g], true); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := p.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			_ = p.Stats()
+			_ = p.Resident()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := range private {
+		n, err := p.Get(private[g])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Records[0].ID; got != node.RecordID(1000*g+iters-1) {
+			t.Fatalf("goroutine %d: final private value = %d, want %d", g, got, 1000*g+iters-1)
+		}
+		p.Unpin(private[g], false)
+	}
+	s := p.Stats()
+	if s.Gets != s.Hits+s.Misses {
+		t.Fatalf("Gets %d != Hits %d + Misses %d", s.Gets, s.Hits, s.Misses)
 	}
 }
 

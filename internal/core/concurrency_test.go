@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -76,6 +77,182 @@ func TestConcurrentSearchesDuringInserts(t *testing.T) {
 }
 
 var errNonIntersecting = geom.ErrDimMismatch // reused sentinel; value irrelevant
+
+// TestConcurrentStressWritersReaders races several writers (inserts and
+// deletes over disjoint record ID spaces) against several readers on all
+// four index variants, pausing between rounds to validate structural
+// invariants and the record count. Sized for -race throughput; the
+// deterministic property tests elsewhere cover result exactness.
+func TestConcurrentStressWritersReaders(t *testing.T) {
+	variants := []struct {
+		name     string
+		spanning bool
+		skeleton bool
+	}{
+		{"r-tree", false, false},
+		{"sr-tree", true, false},
+		{"skeleton-r-tree", false, true},
+		{"skeleton-sr-tree", true, true},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := NewInMemory(smallConfig(v.spanning))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.skeleton {
+				if err := tr.BuildSkeleton(Estimate{Tuples: 2000, Domain: domain1000()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			const (
+				writers         = 3
+				readers         = 4
+				rounds          = 3
+				insertsPerRound = 150
+				deleteEvery     = 4 // one delete per this many inserts
+			)
+			// Each writer owns a disjoint ID space and a private map of its
+			// live records (touched only by that writer during a round, and
+			// by the main goroutine at quiesce, after the round's Wait).
+			type writerState struct {
+				rng  *rand.Rand
+				next int
+				live map[node.RecordID]geom.Rect
+			}
+			states := make([]*writerState, writers)
+			for w := range states {
+				states[w] = &writerState{
+					rng:  rand.New(rand.NewSource(int64(500 + w))),
+					live: make(map[node.RecordID]geom.Rect),
+				}
+			}
+			gen := randBox
+			if v.spanning {
+				gen = randSegment
+			}
+			for round := 0; round < rounds; round++ {
+				var wwg, rwg sync.WaitGroup
+				stop := make(chan struct{})
+				errs := make(chan error, writers+readers)
+				for r := 0; r < readers; r++ {
+					r := r
+					rwg.Add(1)
+					go func() {
+						defer rwg.Done()
+						rng := rand.New(rand.NewSource(int64(700 + r)))
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							q := randQuery(rng)
+							err := tr.SearchFunc(q, func(e Entry) bool {
+								if !e.Rect.Intersects(q) {
+									errs <- errNonIntersecting
+									return false
+								}
+								return true
+							})
+							if err != nil {
+								errs <- err
+								return
+							}
+							if _, err := tr.Count(q); err != nil {
+								errs <- err
+								return
+							}
+							_ = tr.Stats()
+							_ = tr.Len()
+							if i%32 == 0 {
+								if _, err := tr.Analyze(); err != nil {
+									errs <- err
+									return
+								}
+							}
+						}
+					}()
+				}
+				for w := 0; w < writers; w++ {
+					st := states[w]
+					idBase := node.RecordID(1 + w*1_000_000)
+					wwg.Add(1)
+					go func() {
+						defer wwg.Done()
+						for i := 0; i < insertsPerRound; i++ {
+							r := gen(st.rng)
+							id := idBase + node.RecordID(st.next)
+							st.next++
+							if err := tr.Insert(r, id); err != nil {
+								errs <- err
+								return
+							}
+							st.live[id] = r
+							if i%deleteEvery == deleteEvery-1 {
+								// Delete an arbitrary live record (first map
+								// key) using its exact rect as the hint.
+								for victim, hint := range st.live {
+									n, err := tr.Delete(victim, hint)
+									if err != nil {
+										errs <- err
+										return
+									}
+									if n != 1 {
+										errs <- fmt.Errorf("delete %d removed %d records", victim, n)
+										return
+									}
+									delete(st.live, victim)
+									break
+								}
+							}
+						}
+					}()
+				}
+				wwg.Wait()
+				close(stop)
+				rwg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				// Quiesce: the tree must be structurally sound and hold
+				// exactly the surviving records.
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				want := 0
+				for _, st := range states {
+					want += len(st.live)
+				}
+				if got := tr.Len(); got != want {
+					t.Fatalf("round %d: Len = %d, want %d", round, got, want)
+				}
+			}
+			// Every surviving record must still be reachable by its rect.
+			for _, st := range states {
+				for id, r := range st.live {
+					found := false
+					err := tr.SearchFunc(r, func(e Entry) bool {
+						if e.ID == id {
+							found = true
+							return false
+						}
+						return true
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !found {
+						t.Fatalf("record %d lost after stress", id)
+					}
+				}
+			}
+		})
+	}
+}
 
 // TestConcurrentSearchesOnly verifies many readers proceed in parallel on
 // a static tree.

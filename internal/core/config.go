@@ -105,6 +105,12 @@ type Config struct {
 
 	// PoolBytes caps buffer pool residency (0 = unlimited).
 	PoolBytes int
+
+	// PoolShards sets the buffer pool's lock-stripe count (rounded up to
+	// a power of two; 0 picks a default scaled to GOMAXPROCS). One shard
+	// gives a single global LRU with an exact byte budget; more shards
+	// let concurrent readers pin pages without contending on one mutex.
+	PoolShards int
 }
 
 // DefaultConfig returns the paper's experimental configuration for
@@ -151,6 +157,9 @@ func (c Config) Validate() error {
 	}
 	if c.CoalesceMaxFill < 0 || c.CoalesceMaxFill > 1 {
 		return fmt.Errorf("core: CoalesceMaxFill %g outside [0, 1]", c.CoalesceMaxFill)
+	}
+	if c.PoolShards < 0 {
+		return fmt.Errorf("core: PoolShards %d < 0", c.PoolShards)
 	}
 	codec := node.Codec{Dims: c.Dims}
 	if codec.LeafCapacity(c.Sizes.LeafBytes) < 2 {

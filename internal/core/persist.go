@@ -126,7 +126,7 @@ func Open(cfg Config, st store.Store) (*Tree, error) {
 		height:    int(binary.LittleEndian.Uint32(buf[16:20])),
 		size:      int(binary.LittleEndian.Uint64(buf[24:32])),
 	}
-	t.pool = buffer.New(st, t.codec, cfg.PoolBytes)
+	t.pool = buffer.NewSharded(st, t.codec, cfg.PoolBytes, cfg.PoolShards)
 	if t.root == page.Nil || t.height < 1 {
 		return nil, errors.New("core: corrupt tree metadata")
 	}

@@ -22,7 +22,16 @@ var (
 
 // Tree is a paged segment index: an R-Tree when Spanning is disabled, an
 // SR-Tree when enabled, and the skeleton variants of either when built with
-// BuildSkeleton. Safe for one writer and concurrent readers.
+// BuildSkeleton.
+//
+// A Tree is safe for concurrent use: mutations (Insert, Delete, Flush,
+// Close) serialize behind an exclusive lock, while the read-only
+// operations (Search*, Count, Stab via SearchContaining, VisitPortions,
+// Analyze, CheckInvariants, Stats, Len, Height) run concurrently under a
+// shared lock. The read path performs no tree mutation; the only shared
+// state it touches — atomic access counters and buffer-pool pin/LRU
+// bookkeeping — is its own synchronized domain (the pool is lock-striped
+// by page, so concurrent readers rarely contend).
 type Tree struct {
 	cfg   Config
 	codec node.Codec
@@ -54,7 +63,7 @@ func New(cfg Config, st store.Store) (*Tree, error) {
 		store:     st,
 		modCounts: make(map[page.ID]uint64),
 	}
-	t.pool = buffer.New(st, t.codec, cfg.PoolBytes)
+	t.pool = buffer.NewSharded(st, t.codec, cfg.PoolBytes, cfg.PoolShards)
 	// The metadata page is always the first allocation of a fresh store.
 	meta, err := st.Allocate(metaPageBytes)
 	if err != nil {

@@ -69,16 +69,18 @@ func (r *Result) Chart() string {
 	return chart.Render()
 }
 
-// BuildSummary renders per-index build statistics.
+// BuildSummary renders per-index build statistics, including the buffer
+// pool hit rate accumulated over the run.
 func (r *Result) BuildSummary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-17s %7s %8s %9s %8s %8s %8s %8s\n",
-		"index", "height", "nodes", "spanning", "splits", "promos", "demos", "cuts")
+	fmt.Fprintf(&b, "%-17s %7s %8s %9s %8s %8s %8s %8s %9s %8s\n",
+		"index", "height", "nodes", "spanning", "splits", "promos", "demos", "cuts", "poolgets", "hitrate")
 	for _, bi := range r.Builds {
-		fmt.Fprintf(&b, "%-17s %7d %8d %9d %8d %8d %8d %8d\n",
+		fmt.Fprintf(&b, "%-17s %7d %8d %9d %8d %8d %8d %8d %9d %7.1f%%\n",
 			bi.Kind, bi.Height, bi.Nodes, bi.SpanningRecords,
 			bi.Stats.LeafSplits+bi.Stats.NonLeafSplits, bi.Stats.Promotions,
-			bi.Stats.Demotions, bi.Stats.Cuts)
+			bi.Stats.Demotions, bi.Stats.Cuts,
+			bi.Pool.Gets, 100*bi.Pool.HitRate())
 	}
 	return b.String()
 }

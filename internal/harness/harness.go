@@ -164,7 +164,11 @@ type BuildInfo struct {
 	Nodes           int
 	SpanningRecords int
 	Stats           segidx.Stats
-	BuildTime       time.Duration
+	// Pool holds the buffer pool counters accumulated over the whole run
+	// (build plus query sweep); the hit rate shows how well the working
+	// set fit the pool budget.
+	Pool      segidx.PoolStats
+	BuildTime time.Duration
 }
 
 // Result holds a completed experiment.
@@ -174,46 +178,50 @@ type Result struct {
 	Builds []BuildInfo
 }
 
+// Build constructs and fully loads one index of the given kind for the
+// spec (bulk packing for KindPackedRTree, per-record inserts otherwise),
+// returning the loaded index and the build wall time.
+func Build(spec Spec, kind Kind) (*segidx.Index, time.Duration, error) {
+	data := spec.Dataset.Generate(spec.Tuples, spec.Seed)
+	if kind == KindPackedRTree {
+		recs := make([]segidx.BulkRecord, len(data))
+		for i, r := range data {
+			recs[i] = segidx.BulkRecord{Rect: r, ID: segidx.RecordID(i + 1)}
+		}
+		start := time.Now()
+		idx, err := segidx.BulkLoadRTree(recs, 1.0,
+			segidx.WithLeafNodeBytes(spec.LeafBytes),
+			segidx.WithNodeGrowth(spec.Growth))
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: %v: %w", kind, err)
+		}
+		return idx, time.Since(start), nil
+	}
+	idx, err := buildIndex(spec, kind)
+	if err != nil {
+		return nil, 0, fmt.Errorf("harness: %v: %w", kind, err)
+	}
+	start := time.Now()
+	for i, r := range data {
+		if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+			idx.Close()
+			return nil, 0, fmt.Errorf("harness: %v insert %d: %w", kind, i, err)
+		}
+	}
+	return idx, time.Since(start), nil
+}
+
 // Run executes the experiment, writing progress lines to progress (may be
 // nil).
 func Run(spec Spec, progress io.Writer) (*Result, error) {
 	if progress == nil {
 		progress = io.Discard
 	}
-	data := spec.Dataset.Generate(spec.Tuples, spec.Seed)
 	res := &Result{Spec: spec}
 	for _, kind := range spec.Kinds {
-		var (
-			idx       *segidx.Index
-			err       error
-			buildTime time.Duration
-		)
-		if kind == KindPackedRTree {
-			recs := make([]segidx.BulkRecord, len(data))
-			for i, r := range data {
-				recs[i] = segidx.BulkRecord{Rect: r, ID: segidx.RecordID(i + 1)}
-			}
-			start := time.Now()
-			idx, err = segidx.BulkLoadRTree(recs, 1.0,
-				segidx.WithLeafNodeBytes(spec.LeafBytes),
-				segidx.WithNodeGrowth(spec.Growth))
-			buildTime = time.Since(start)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %v: %w", kind, err)
-			}
-		} else {
-			idx, err = buildIndex(spec, kind)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %v: %w", kind, err)
-			}
-			start := time.Now()
-			for i, r := range data {
-				if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
-					idx.Close()
-					return nil, fmt.Errorf("harness: %v insert %d: %w", kind, i, err)
-				}
-			}
-			buildTime = time.Since(start)
+		idx, buildTime, err := Build(spec, kind)
+		if err != nil {
+			return nil, err
 		}
 		if spec.CheckInvariants {
 			if err := idx.CheckInvariants(); err != nil {
@@ -250,6 +258,7 @@ func Run(spec Spec, progress io.Writer) (*Result, error) {
 			Nodes:           rep.Nodes,
 			SpanningRecords: rep.SpanningRecords,
 			Stats:           idx.Stats(),
+			Pool:            idx.PoolStats(),
 			BuildTime:       buildTime,
 		})
 		if err := idx.Close(); err != nil {

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"segidx"
+)
+
+// The BENCH JSON format: machine-readable result lines, one JSON object
+// per line, each prefixed with "BENCH " so they can be grepped out of
+// mixed human-readable output. Every segbench mode emits them under
+// -json; the -parallel mode emits them unconditionally.
+
+// PoolJSON is the wire form of buffer pool counters.
+type PoolJSON struct {
+	Gets      uint64  `json:"gets"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Writes    uint64  `json:"writes"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// NewPoolJSON converts a pool stats snapshot (or delta) to its wire form.
+func NewPoolJSON(s segidx.PoolStats) PoolJSON {
+	return PoolJSON{
+		Gets:      s.Gets,
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Writes:    s.Writes,
+		HitRate:   s.HitRate(),
+	}
+}
+
+// PoolDelta returns the counter deltas from before to after.
+func PoolDelta(before, after segidx.PoolStats) segidx.PoolStats {
+	return segidx.PoolStats{
+		Gets:      after.Gets - before.Gets,
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Evictions: after.Evictions - before.Evictions,
+		Writes:    after.Writes - before.Writes,
+	}
+}
+
+type curvePointJSON struct {
+	QAR            float64 `json:"qar"`
+	NodesPerSearch float64 `json:"nodes_per_search"`
+}
+
+type graphJSON struct {
+	Experiment      string           `json:"experiment"`
+	Name            string           `json:"name"`
+	Kind            string           `json:"kind"`
+	Tuples          int              `json:"tuples"`
+	Seed            uint64           `json:"seed"`
+	Height          int              `json:"height"`
+	Nodes           int              `json:"nodes"`
+	SpanningRecords int              `json:"spanning_records"`
+	BuildMS         float64          `json:"build_ms"`
+	Pool            PoolJSON         `json:"pool"`
+	Curve           []curvePointJSON `json:"curve"`
+}
+
+// BenchJSON renders the result as BENCH JSON: one line per index type,
+// carrying the build statistics, the accumulated buffer pool counters,
+// and the full QAR curve.
+func (r *Result) BenchJSON() string {
+	var b strings.Builder
+	for i, c := range r.Curves {
+		g := graphJSON{
+			Experiment: "graph",
+			Name:       r.Spec.Name,
+			Kind:       c.Kind.String(),
+			Tuples:     r.Spec.Tuples,
+			Seed:       r.Spec.Seed,
+		}
+		if i < len(r.Builds) {
+			bi := r.Builds[i]
+			g.Height = bi.Height
+			g.Nodes = bi.Nodes
+			g.SpanningRecords = bi.SpanningRecords
+			g.BuildMS = float64(bi.BuildTime.Microseconds()) / 1000
+			g.Pool = NewPoolJSON(bi.Pool)
+		}
+		for _, p := range c.Points {
+			g.Curve = append(g.Curve, curvePointJSON{QAR: p.QAR, NodesPerSearch: p.AvgNodes})
+		}
+		buf, err := json.Marshal(g)
+		if err != nil {
+			// A marshal failure here is a programming error (the struct
+			// is plain data); surface it in the output stream.
+			fmt.Fprintf(&b, "BENCH {\"error\":%q}\n", err.Error())
+			continue
+		}
+		b.WriteString("BENCH ")
+		b.Write(buf)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

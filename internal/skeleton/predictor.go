@@ -10,7 +10,9 @@ package skeleton
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"segidx/internal/buffer"
 	"segidx/internal/core"
 	"segidx/internal/geom"
 	"segidx/internal/histogram"
@@ -26,6 +28,11 @@ const DefaultBins = 100
 // of the input has been observed. It implements the same operations as
 // core.Tree; searches and deletes during the buffering phase consult the
 // buffer.
+//
+// A Predictor is safe for concurrent use: its own lock guards the sample
+// buffer and the buffering-to-built transition, and once the skeleton is
+// built, operations delegate to the Tree's locking (reads then proceed in
+// parallel under the tree's shared lock).
 type Predictor struct {
 	cfg      core.Config
 	st       store.Store
@@ -34,6 +41,7 @@ type Predictor struct {
 	sample   int
 	bins     int
 
+	mu   sync.RWMutex
 	buf  []buffered
 	tree *core.Tree // nil until the skeleton is built
 }
@@ -87,30 +95,48 @@ func NewFixedSample(cfg core.Config, st store.Store, domain geom.Rect, expectedT
 	return p, nil
 }
 
+// built returns the underlying tree, or nil while still buffering.
+func (p *Predictor) built() *core.Tree {
+	p.mu.RLock()
+	t := p.tree
+	p.mu.RUnlock()
+	return t
+}
+
 // Buffering reports whether the predictor is still collecting its sample.
-func (p *Predictor) Buffering() bool { return p.tree == nil }
+func (p *Predictor) Buffering() bool { return p.built() == nil }
 
 // Tree returns the underlying tree, or nil while buffering.
-func (p *Predictor) Tree() *core.Tree { return p.tree }
+func (p *Predictor) Tree() *core.Tree { return p.built() }
 
 // Insert adds a record, building the skeleton once the sample is complete.
 func (p *Predictor) Insert(rect geom.Rect, id node.RecordID) error {
-	if p.tree != nil {
-		return p.tree.Insert(rect, id)
+	if t := p.built(); t != nil {
+		return t.Insert(rect, id)
+	}
+	p.mu.Lock()
+	if p.tree != nil { // built between the check and the lock
+		t := p.tree
+		p.mu.Unlock()
+		return t.Insert(rect, id)
 	}
 	if !rect.Valid() || rect.Dims() != p.cfg.Dims {
+		p.mu.Unlock()
 		return core.ErrBadRect
 	}
 	p.buf = append(p.buf, buffered{rect: rect.Clone(), id: id})
+	var err error
 	if len(p.buf) >= p.sample {
-		return p.build()
+		err = p.buildLocked()
 	}
-	return nil
+	p.mu.Unlock()
+	return err
 }
 
-// build computes per-dimension histograms from the buffered sample,
-// constructs the skeleton, and drains the buffer into it.
-func (p *Predictor) build() error {
+// buildLocked computes per-dimension histograms from the buffered sample,
+// constructs the skeleton, and drains the buffer into it. The caller must
+// hold the write lock on p.mu.
+func (p *Predictor) buildLocked() error {
 	hists := make([]*histogram.Histogram, p.cfg.Dims)
 	for d := 0; d < p.cfg.Dims; d++ {
 		h, err := histogram.New(p.domain.Min[d], p.domain.Max[d], p.bins)
@@ -144,18 +170,30 @@ func (p *Predictor) build() error {
 // collected (building a uniform skeleton if nothing was buffered). Useful
 // when the input ends before the sample target is reached.
 func (p *Predictor) Finalize() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.tree != nil {
 		return nil
 	}
-	return p.build()
+	return p.buildLocked()
 }
 
 // Search returns deduplicated records intersecting query, consulting the
 // buffer while in the buffering phase.
 func (p *Predictor) Search(query geom.Rect) ([]core.Entry, error) {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.Search(query)
+		t := p.tree
+		p.mu.RUnlock()
+		return t.Search(query)
 	}
+	defer p.mu.RUnlock()
+	return p.searchBufferedLocked(query)
+}
+
+// searchBufferedLocked scans the sample buffer for intersecting records.
+// The caller must hold p.mu.
+func (p *Predictor) searchBufferedLocked(query geom.Rect) ([]core.Entry, error) {
 	if !query.Valid() || query.Dims() != p.cfg.Dims {
 		return nil, core.ErrBadRect
 	}
@@ -170,10 +208,14 @@ func (p *Predictor) Search(query geom.Rect) ([]core.Entry, error) {
 
 // SearchFunc visits records intersecting query.
 func (p *Predictor) SearchFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.SearchFunc(query, fn)
+		t := p.tree
+		p.mu.RUnlock()
+		return t.SearchFunc(query, fn)
 	}
-	entries, err := p.Search(query)
+	entries, err := p.searchBufferedLocked(query)
+	p.mu.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -187,9 +229,13 @@ func (p *Predictor) SearchFunc(query geom.Rect, fn func(core.Entry) bool) error 
 
 // SearchWithin returns the records entirely contained in query.
 func (p *Predictor) SearchWithin(query geom.Rect) ([]core.Entry, error) {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.SearchWithin(query)
+		t := p.tree
+		p.mu.RUnlock()
+		return t.SearchWithin(query)
 	}
+	defer p.mu.RUnlock()
 	if !query.Valid() || query.Dims() != p.cfg.Dims {
 		return nil, core.ErrBadRect
 	}
@@ -204,9 +250,13 @@ func (p *Predictor) SearchWithin(query geom.Rect) ([]core.Entry, error) {
 
 // SearchContaining returns the records that entirely contain query.
 func (p *Predictor) SearchContaining(query geom.Rect) ([]core.Entry, error) {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.SearchContaining(query)
+		t := p.tree
+		p.mu.RUnlock()
+		return t.SearchContaining(query)
 	}
+	defer p.mu.RUnlock()
 	if !query.Valid() || query.Dims() != p.cfg.Dims {
 		return nil, core.ErrBadRect
 	}
@@ -222,11 +272,20 @@ func (p *Predictor) SearchContaining(query geom.Rect) ([]core.Entry, error) {
 // VisitPortions walks every stored record portion with its storage level
 // (buffered records report level 0).
 func (p *Predictor) VisitPortions(fn func(level int, e core.Entry) bool) error {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.VisitPortions(fn)
+		t := p.tree
+		p.mu.RUnlock()
+		return t.VisitPortions(fn)
 	}
-	for _, b := range p.buf {
-		if !fn(0, core.Entry{Rect: b.rect.Clone(), ID: b.id}) {
+	// Snapshot the buffer so fn runs without holding the lock.
+	entries := make([]core.Entry, len(p.buf))
+	for i, b := range p.buf {
+		entries[i] = core.Entry{Rect: b.rect.Clone(), ID: b.id}
+	}
+	p.mu.RUnlock()
+	for _, e := range entries {
+		if !fn(0, e) {
 			return nil
 		}
 	}
@@ -235,18 +294,26 @@ func (p *Predictor) VisitPortions(fn func(level int, e core.Entry) bool) error {
 
 // Count returns the number of records intersecting query.
 func (p *Predictor) Count(query geom.Rect) (int, error) {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.Count(query)
+		t := p.tree
+		p.mu.RUnlock()
+		return t.Count(query)
 	}
-	entries, err := p.Search(query)
+	defer p.mu.RUnlock()
+	entries, err := p.searchBufferedLocked(query)
 	return len(entries), err
 }
 
 // Delete removes the record with the given ID.
 func (p *Predictor) Delete(id node.RecordID, hint geom.Rect) (int, error) {
+	p.mu.Lock()
 	if p.tree != nil {
-		return p.tree.Delete(id, hint)
+		t := p.tree
+		p.mu.Unlock()
+		return t.Delete(id, hint)
 	}
+	defer p.mu.Unlock()
 	for i := range p.buf {
 		if p.buf[i].id == id && p.buf[i].rect.Intersects(hint) {
 			p.buf = append(p.buf[:i], p.buf[i+1:]...)
@@ -259,9 +326,13 @@ func (p *Predictor) Delete(id node.RecordID, hint geom.Rect) (int, error) {
 // DeleteWhere removes every buffered or indexed record intersecting query
 // and satisfying pred.
 func (p *Predictor) DeleteWhere(query geom.Rect, pred func(core.Entry) bool) (int, error) {
+	p.mu.Lock()
 	if p.tree != nil {
-		return p.tree.DeleteWhere(query, pred)
+		t := p.tree
+		p.mu.Unlock()
+		return t.DeleteWhere(query, pred)
 	}
+	defer p.mu.Unlock()
 	if !query.Valid() || query.Dims() != p.cfg.Dims {
 		return 0, core.ErrBadRect
 	}
@@ -280,34 +351,47 @@ func (p *Predictor) DeleteWhere(query geom.Rect, pred func(core.Entry) bool) (in
 
 // Len reports the number of records held (buffered plus indexed).
 func (p *Predictor) Len() int {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.Len()
+		t := p.tree
+		p.mu.RUnlock()
+		return t.Len()
 	}
+	defer p.mu.RUnlock()
 	return len(p.buf)
 }
 
 // Height reports the tree height (1 while buffering).
 func (p *Predictor) Height() int {
-	if p.tree != nil {
-		return p.tree.Height()
+	if t := p.built(); t != nil {
+		return t.Height()
 	}
 	return 1
 }
 
 // NodeCount reports the number of index nodes (0 while buffering).
 func (p *Predictor) NodeCount() int {
-	if p.tree != nil {
-		return p.tree.NodeCount()
+	if t := p.built(); t != nil {
+		return t.NodeCount()
 	}
 	return 0
 }
 
 // Stats returns tree counters (zero while buffering).
 func (p *Predictor) Stats() core.Stats {
-	if p.tree != nil {
-		return p.tree.Stats()
+	if t := p.built(); t != nil {
+		return t.Stats()
 	}
 	return core.Stats{}
+}
+
+// PoolStats returns buffer pool counters (zero while buffering: sampled
+// records live in memory, not on pages).
+func (p *Predictor) PoolStats() buffer.Stats {
+	if t := p.built(); t != nil {
+		return t.PoolStats()
+	}
+	return buffer.Stats{}
 }
 
 // Flush persists the index; it finalizes the skeleton first.
@@ -315,22 +399,26 @@ func (p *Predictor) Flush() error {
 	if err := p.Finalize(); err != nil {
 		return err
 	}
-	return p.tree.Flush()
+	return p.built().Flush()
 }
 
 // CheckInvariants validates the underlying tree (trivially true while
 // buffering).
 func (p *Predictor) CheckInvariants() error {
-	if p.tree != nil {
-		return p.tree.CheckInvariants()
+	if t := p.built(); t != nil {
+		return t.CheckInvariants()
 	}
 	return nil
 }
 
 // Analyze reports the structure of the underlying tree.
 func (p *Predictor) Analyze() (*core.Report, error) {
+	p.mu.RLock()
 	if p.tree != nil {
-		return p.tree.Analyze()
+		t := p.tree
+		p.mu.RUnlock()
+		return t.Analyze()
 	}
+	defer p.mu.RUnlock()
 	return &core.Report{Height: 1, LogicalRecords: len(p.buf)}, nil
 }

@@ -14,6 +14,7 @@ type options struct {
 	cfg  core.Config
 	st   store.Store
 	path string
+	par  int
 }
 
 func resolve(opts []Option) (*options, error) {
@@ -143,6 +144,33 @@ func WithCoalescing(every, candidates int) Option {
 func WithPoolBytes(n int) Option {
 	return func(o *options) error {
 		o.cfg.PoolBytes = n
+		return nil
+	}
+}
+
+// WithPoolShards sets the buffer pool's lock-stripe count (rounded up to
+// a power of two; default 0 picks a count scaled to GOMAXPROCS). One
+// shard gives a single global LRU with an exact byte budget; more shards
+// let concurrent readers pin pages without contending on one mutex.
+func WithPoolShards(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("segidx: negative pool shard count %d", n)
+		}
+		o.cfg.PoolShards = n
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker goroutines used by the batch APIs
+// (SearchBatch, StabBatch, InsertBatch). The default 0 means GOMAXPROCS
+// at call time; SetParallelism changes the bound later.
+func WithParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("segidx: negative parallelism %d", n)
+		}
+		o.par = n
 		return nil
 	}
 }

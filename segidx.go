@@ -3,7 +3,9 @@ package segidx
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"segidx/internal/buffer"
 	"segidx/internal/core"
 	"segidx/internal/geom"
 	"segidx/internal/histogram"
@@ -26,6 +28,10 @@ type Entry = core.Entry
 
 // Stats holds tree activity counters; see core.Stats for field docs.
 type Stats = core.Stats
+
+// PoolStats holds buffer pool counters (gets, hits, misses, evictions,
+// write-backs), aggregated across the pool's lock stripes.
+type PoolStats = buffer.Stats
 
 // Report is a structural quality report; see (*Index).Analyze.
 type Report = core.Report
@@ -69,18 +75,26 @@ type engine interface {
 	Height() int
 	NodeCount() int
 	Stats() Stats
+	PoolStats() buffer.Stats
 	Flush() error
 	CheckInvariants() error
 	Analyze() (*Report, error)
 }
 
 // Index is a segment index: one of R-Tree, SR-Tree, Skeleton R-Tree, or
-// Skeleton SR-Tree. Safe for one writer and concurrent readers.
+// Skeleton SR-Tree.
+//
+// An Index is safe for concurrent use: mutations serialize behind an
+// internal write lock while searches and analysis proceed in parallel
+// under a read lock, pinning pages through a lock-striped buffer pool.
+// The batch APIs (SearchBatch, StabBatch, InsertBatch) fan work across a
+// bounded goroutine pool; see WithParallelism.
 type Index struct {
 	eng   engine
 	st    store.Store
 	kind  string
-	owned bool // whether Close should close the store
+	owned bool         // whether Close should close the store
+	par   atomic.Int32 // batch worker bound; 0 = GOMAXPROCS
 }
 
 // Kind reports which index type this is ("r-tree", "sr-tree",
@@ -158,6 +172,11 @@ func (x *Index) NodeCount() int { return x.eng.NodeCount() }
 // SearchNodeAccesses over the delta of Searches.
 func (x *Index) Stats() Stats { return x.eng.Stats() }
 
+// PoolStats returns a snapshot of buffer pool counters: cache hits and
+// misses, evictions, and dirty write-backs. The hit rate over a query
+// sweep shows how well the working set fits the pool budget.
+func (x *Index) PoolStats() PoolStats { return x.eng.PoolStats() }
+
 // Flush persists dirty nodes and metadata to the page store.
 func (x *Index) Flush() error { return x.eng.Flush() }
 
@@ -221,6 +240,14 @@ func NewSkeletonSRTree(est SkeletonEstimate, opts ...Option) (*Index, error) {
 	return build("skeleton-sr-tree", true, &est, opts)
 }
 
+// newIndex assembles the public handle around an engine, applying the
+// resolved runtime options.
+func newIndex(eng engine, st store.Store, kind string, owned bool, o *options) *Index {
+	x := &Index{eng: eng, st: st, kind: kind, owned: owned}
+	x.par.Store(int32(o.par))
+	return x
+}
+
 func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*Index, error) {
 	o, err := resolve(opts)
 	if err != nil {
@@ -246,7 +273,7 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 		if err != nil {
 			return fail(err)
 		}
-		return &Index{eng: t, st: st, kind: kind, owned: owned}, nil
+		return newIndex(t, st, kind, owned, o), nil
 	}
 	if est.Tuples < 1 {
 		return fail(fmt.Errorf("segidx: skeleton estimate of %d tuples", est.Tuples))
@@ -256,7 +283,7 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 		if err != nil {
 			return fail(err)
 		}
-		return &Index{eng: p, st: st, kind: kind, owned: owned}, nil
+		return newIndex(p, st, kind, owned, o), nil
 	}
 	t, err := core.NewSkeleton(cfg, st, core.Estimate{
 		Tuples: est.Tuples,
@@ -266,7 +293,7 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 	if err != nil {
 		return fail(err)
 	}
-	return &Index{eng: t, st: st, kind: kind, owned: owned}, nil
+	return newIndex(t, st, kind, owned, o), nil
 }
 
 // BulkRecord pairs a rectangle with its ID for bulk loading.
@@ -296,7 +323,7 @@ func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, 
 		}
 		return nil, err
 	}
-	return &Index{eng: t, st: st, kind: "packed-r-tree", owned: owned}, nil
+	return newIndex(t, st, "packed-r-tree", owned, o), nil
 }
 
 // Open reattaches an index previously persisted with Flush or Close to a
@@ -329,7 +356,7 @@ func Open(path string, opts ...Option) (*Index, error) {
 	if meta.Spanning {
 		kind = "sr-tree"
 	}
-	return &Index{eng: t, st: fs, kind: kind, owned: true}, nil
+	return newIndex(t, fs, kind, true, o), nil
 }
 
 // ErrNoMeta is returned by Open when the file holds no persisted index.
