@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+// The -durability mode measures what crash safety costs: the same insert
+// workload runs over the in-memory store (no durability), the plain file
+// store (durable pages, no commit protocol), and the WAL-backed store
+// (crash-atomic Flush with two fsyncs per commit), flushing every
+// -flushevery inserts. Output is BENCH JSON, one line per kind x store,
+// with the wall-clock overhead relative to the in-memory baseline.
+
+type durabilityJSON struct {
+	Experiment    string  `json:"experiment"`
+	Kind          string  `json:"kind"`
+	Store         string  `json:"store"` // mem | file | wal
+	Tuples        int     `json:"tuples"`
+	Seed          uint64  `json:"seed"`
+	FlushEvery    int     `json:"flush_every"`
+	Flushes       int     `json:"flushes"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	FlushMS       float64 `json:"flush_ms"` // time inside Flush, included in ElapsedMS
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	OverheadX     float64 `json:"overhead_x"` // elapsed / mem-store elapsed, same kind
+}
+
+// durabilityStores lists the measured backends, cheapest first so the
+// overhead baseline is computed before the stores that need it.
+var durabilityStores = []string{"mem", "file", "wal"}
+
+// runDurability executes the durability-cost experiment and prints BENCH
+// JSON lines to stdout.
+func runDurability(tuples, flushEvery int, seed uint64, kinds []harness.Kind, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	if len(kinds) == 0 {
+		kinds = harness.AllKinds()
+	}
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	spec := harness.NewSpec("durability", workload.I3, tuples)
+	spec.Seed = seed
+	data := spec.Dataset.Generate(spec.Tuples, spec.Seed)
+	dir, err := os.MkdirTemp("", "segbench-durability-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, kind := range kinds {
+		var baseMS float64
+		for _, backend := range durabilityStores {
+			idx, err := durabilityIndex(spec, kind, backend, dir)
+			if err != nil {
+				return fmt.Errorf("%v over %s: %w", kind, backend, err)
+			}
+			start := time.Now()
+			var flushTime time.Duration
+			flushes := 0
+			flush := func() error {
+				fs := time.Now()
+				if err := idx.Flush(); err != nil {
+					return err
+				}
+				flushTime += time.Since(fs)
+				flushes++
+				return nil
+			}
+			for i, r := range data {
+				if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+					idx.Close()
+					return fmt.Errorf("%v over %s insert %d: %w", kind, backend, i, err)
+				}
+				if (i+1)%flushEvery == 0 {
+					if err := flush(); err != nil {
+						idx.Close()
+						return fmt.Errorf("%v over %s flush: %w", kind, backend, err)
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				idx.Close()
+				return fmt.Errorf("%v over %s final flush: %w", kind, backend, err)
+			}
+			elapsed := time.Since(start)
+			if err := idx.Close(); err != nil {
+				return fmt.Errorf("%v over %s close: %w", kind, backend, err)
+			}
+
+			ms := float64(elapsed.Microseconds()) / 1000
+			if backend == "mem" {
+				baseMS = ms
+			}
+			overhead := 0.0
+			if baseMS > 0 {
+				overhead = ms / baseMS
+			}
+			line := durabilityJSON{
+				Experiment:    "durability",
+				Kind:          kind.String(),
+				Store:         backend,
+				Tuples:        spec.Tuples,
+				Seed:          spec.Seed,
+				FlushEvery:    flushEvery,
+				Flushes:       flushes,
+				ElapsedMS:     ms,
+				FlushMS:       float64(flushTime.Microseconds()) / 1000,
+				InsertsPerSec: float64(spec.Tuples) / elapsed.Seconds(),
+				OverheadX:     overhead,
+			}
+			buf, err := json.Marshal(line)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("BENCH %s\n", buf)
+			fmt.Fprintf(progress, "%-17s %-4s %d tuples in %v (%d flushes, %v in Flush, %.2fx mem)\n",
+				kind, backend, spec.Tuples, elapsed.Round(time.Millisecond),
+				flushes, flushTime.Round(time.Millisecond), overhead)
+		}
+	}
+	return nil
+}
+
+// durabilityIndex builds an empty index of the given kind over the chosen
+// store backend, mirroring the harness's construction parameters.
+func durabilityIndex(spec harness.Spec, kind harness.Kind, backend, dir string) (*segidx.Index, error) {
+	opts := []segidx.Option{
+		segidx.WithLeafNodeBytes(spec.LeafBytes),
+		segidx.WithNodeGrowth(spec.Growth),
+		segidx.WithBranchReserve(spec.BranchReserve),
+		segidx.WithLeafPromotion(spec.LeafPromotion),
+		segidx.WithCoalescing(spec.CoalesceEvery, spec.CoalesceCandidates),
+	}
+	switch backend {
+	case "mem":
+		// The default store.
+	case "file":
+		opts = append(opts, segidx.WithFile(filepath.Join(dir, fmt.Sprintf("%v-file.db", kind))))
+	case "wal":
+		opts = append(opts, segidx.WithDurableFile(filepath.Join(dir, fmt.Sprintf("%v-wal.db", kind))))
+	default:
+		return nil, fmt.Errorf("unknown store backend %q", backend)
+	}
+	est := segidx.SkeletonEstimate{
+		Tuples:          spec.Tuples,
+		Domain:          segidx.Box(workload.DomainLo, workload.DomainLo, workload.DomainHi, workload.DomainHi),
+		PredictFraction: float64(spec.PredictSample) / float64(spec.Tuples),
+	}
+	switch kind {
+	case harness.KindRTree:
+		return segidx.NewRTree(opts...)
+	case harness.KindSRTree:
+		return segidx.NewSRTree(opts...)
+	case harness.KindSkeletonRTree:
+		return segidx.NewSkeletonRTree(est, opts...)
+	case harness.KindSkeletonSRTree:
+		return segidx.NewSkeletonSRTree(est, opts...)
+	default:
+		return nil, fmt.Errorf("unsupported kind %v", kind)
+	}
+}

@@ -11,6 +11,7 @@
 //	segbench -graph 3 -json           # machine-readable BENCH JSON lines
 //	segbench -ablation reserve        # branch-reserve sweep (A1)
 //	segbench -parallel -workers 1,4,8 # concurrent read scale-up (BENCH JSON)
+//	segbench -durability -tuples 20000 # fsync cost of crash-safe commits
 //	segbench -list                    # what can be run
 package main
 
@@ -27,22 +28,24 @@ import (
 
 func main() {
 	var (
-		graphs   = flag.String("graph", "", "comma-separated graph numbers to run (1-8)")
-		all      = flag.Bool("all", false, "run every graph (1-8)")
-		tuples   = flag.Int("tuples", 200000, "dataset size (the paper plots 200K; 100K reported as similar)")
-		queries  = flag.Int("queries", workload.QueriesPerQAR, "searches per QAR")
-		seed     = flag.Uint64("seed", 1991, "workload seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut  = flag.Bool("json", false, "emit BENCH JSON lines instead of tables")
-		chart    = flag.Bool("chart", false, "also render ASCII charts")
-		check    = flag.Bool("check", false, "validate index invariants after each build (slow)")
-		ablation = flag.String("ablation", "", "run an ablation: reserve | nodesize | predict | coalesce | leafpromo | packing")
-		kinds    = flag.String("kinds", "", "restrict index types: comma-separated of r,sr,skr,sksr")
-		list     = flag.Bool("list", false, "list runnable experiments and exit")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		verify   = flag.Bool("verify", false, "run graphs 1-6 and check the paper's qualitative claims")
-		parallel = flag.Bool("parallel", false, "run the concurrent read scale-up experiment (emits BENCH JSON)")
-		workers  = flag.String("workers", "1,2,4,8", "worker counts for -parallel, ascending")
+		graphs     = flag.String("graph", "", "comma-separated graph numbers to run (1-8)")
+		all        = flag.Bool("all", false, "run every graph (1-8)")
+		tuples     = flag.Int("tuples", 200000, "dataset size (the paper plots 200K; 100K reported as similar)")
+		queries    = flag.Int("queries", workload.QueriesPerQAR, "searches per QAR")
+		seed       = flag.Uint64("seed", 1991, "workload seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "emit BENCH JSON lines instead of tables")
+		chart      = flag.Bool("chart", false, "also render ASCII charts")
+		check      = flag.Bool("check", false, "validate index invariants after each build (slow)")
+		ablation   = flag.String("ablation", "", "run an ablation: reserve | nodesize | predict | coalesce | leafpromo | packing")
+		kinds      = flag.String("kinds", "", "restrict index types: comma-separated of r,sr,skr,sksr")
+		list       = flag.Bool("list", false, "list runnable experiments and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		verify     = flag.Bool("verify", false, "run graphs 1-6 and check the paper's qualitative claims")
+		parallel   = flag.Bool("parallel", false, "run the concurrent read scale-up experiment (emits BENCH JSON)")
+		workers    = flag.String("workers", "1,2,4,8", "worker counts for -parallel, ascending")
+		durability = flag.Bool("durability", false, "measure the fsync cost of crash-safe commits: mem vs file vs WAL store (emits BENCH JSON)")
+		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability")
 	)
 	flag.Parse()
 
@@ -65,6 +68,17 @@ func main() {
 			fatal(err)
 		}
 		if err := runParallel(*tuples, *queries, *seed, k, ws, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *durability {
+		k, err := parseKinds(*kinds)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runDurability(*tuples, *flushEvery, *seed, k, progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -193,6 +207,9 @@ func printList() {
 	fmt.Println("  coalesce   A4: coalescing on vs off on I2")
 	fmt.Println("  leafpromo  A5: leaf promotion on vs off on I3")
 	fmt.Println("  packing    A6: static packed R-Tree vs dynamic indexes on I1 and I3")
+	fmt.Println("\nother modes:")
+	fmt.Println("  -parallel    concurrent read scale-up (BENCH JSON)")
+	fmt.Println("  -durability  fsync cost of crash-safe commits: mem vs file vs WAL (BENCH JSON)")
 }
 
 func fatal(err error) {

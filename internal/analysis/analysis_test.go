@@ -35,7 +35,15 @@ func loadFixture(t *testing.T, pkgPath, src string) *Package {
 // line may produce any.
 func checkFixture(t *testing.T, a *Analyzer, src string) {
 	t.Helper()
-	pkg := loadFixture(t, "fixture", src)
+	checkFixtureAt(t, a, "fixture", src)
+}
+
+// checkFixtureAt is checkFixture with an explicit package path, for rules
+// that key on the analyzed package's import path (the errchecklite
+// durability rule fires only inside internal/store and internal/core).
+func checkFixtureAt(t *testing.T, a *Analyzer, pkgPath, src string) {
+	t.Helper()
+	pkg := loadFixture(t, pkgPath, src)
 	diags := RunUnfiltered(pkg, []*Analyzer{a})
 
 	want := make(map[string]bool) // "line:analyzer"
@@ -199,6 +207,44 @@ func local() {}
 
 func callLocal() { local() } // package-local calls are out of scope
 `)
+}
+
+// TestErrCheckLiteDurability pins the stricter rule for the commit
+// protocol: Write, Sync, and Commit errors may not be dropped even by
+// code in the same package.
+func TestErrCheckLiteDurability(t *testing.T) {
+	src := `package store
+
+type DB struct{}
+
+func (d *DB) Write(p []byte) error { return nil }
+func (d *DB) Sync() error          { return nil }
+func (d *DB) Commit() error        { return nil }
+func (d *DB) Len() int             { return 0 }
+func (d *DB) helper() error        { return nil }
+
+func use(d *DB) {
+	d.Write(nil)     // want errchecklite
+	d.Sync()         // want errchecklite
+	defer d.Commit() // want errchecklite
+	go d.Sync()      // want errchecklite
+
+	d.Len()    // no error result; fine
+	d.helper() // same-package, not part of the commit protocol: fine
+
+	_ = d.Sync() // explicit discard stays the opt-out
+	if err := d.Commit(); err != nil {
+		_ = err
+	}
+}
+`
+	checkFixtureAt(t, ErrCheckLite, "fixture/internal/store", src)
+
+	// The same fixture outside store/core only triggers on nothing: the
+	// package rule skips same-package calls and the path has no
+	// durability suffix.
+	clean := strings.ReplaceAll(src, " // want errchecklite", "")
+	checkFixtureAt(t, ErrCheckLite, "fixture/internal/other", clean)
 }
 
 func TestNodePanic(t *testing.T) {

@@ -15,6 +15,11 @@ import (
 // Assigning the error explicitly — including to the blank identifier with a
 // comment — is the opt-out; the analyzer only rejects calls where the error
 // result is syntactically invisible.
+//
+// Calls to functions named Write, Sync, or Commit declared in the store or
+// core packages are held to a stricter standard: they are flagged even when
+// caller and callee share a package. Those are the durability boundary — a
+// dropped error there means a commit the caller believes durable is not.
 var ErrCheckLite = &Analyzer{
 	Name:      "errchecklite",
 	Doc:       "forbid dropped errors from store/node/buffer (page I/O and codec) calls",
@@ -32,13 +37,24 @@ var errCheckPackageSuffixes = []string{
 	"internal/page",
 }
 
+// errCheckDurabilitySuffixes selects the packages whose Write/Sync/Commit
+// errors must never be dropped, not even by the package's own code.
+var errCheckDurabilitySuffixes = []string{
+	"internal/store",
+	"internal/core",
+}
+
 func runErrCheckLite(p *Pass) {
 	check := func(call *ast.CallExpr, how string) {
 		callee := calleeFunc(p.Info, call)
 		if callee == nil || callee.Pkg() == nil {
 			return
 		}
-		if callee.Pkg() == p.Pkg || !errCheckPackage(callee.Pkg().Path()) {
+		if callee.Pkg() == p.Pkg {
+			if !errCheckDurabilityCall(callee) {
+				return
+			}
+		} else if !errCheckPackage(callee.Pkg().Path()) && !errCheckDurabilityCall(callee) {
 			return
 		}
 		if !returnsError(callee) {
@@ -65,7 +81,23 @@ func runErrCheckLite(p *Pass) {
 }
 
 func errCheckPackage(path string) bool {
-	for _, suffix := range errCheckPackageSuffixes {
+	return pathHasSuffix(path, errCheckPackageSuffixes)
+}
+
+// errCheckDurabilityCall reports whether the callee is one of the commit-
+// protocol functions (Write, Sync, Commit) declared in the store or core
+// packages.
+func errCheckDurabilityCall(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Write", "Sync", "Commit":
+	default:
+		return false
+	}
+	return pathHasSuffix(fn.Pkg().Path(), errCheckDurabilitySuffixes)
+}
+
+func pathHasSuffix(path string, suffixes []string) bool {
+	for _, suffix := range suffixes {
 		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
 			return true
 		}

@@ -305,6 +305,33 @@ func (p *Pool) Flush() error {
 	return nil
 }
 
+// Invalidate drops every unpinned frame — clean and dirty alike — without
+// writing anything back. It exists for the failed-commit path: when a
+// store commit fails, the durable image is some earlier commit boundary,
+// so resident nodes (and especially un-flushed dirty ones) no longer
+// describe it and must not be served or written back later. Pinned frames
+// cannot be dropped; Invalidate reports how many remain resident.
+func (p *Pool) Invalidate() int {
+	pinned := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for id, f := range s.resident {
+			if f.pins > 0 {
+				pinned++
+				continue
+			}
+			if f.elem != nil {
+				s.lru.Remove(f.elem)
+			}
+			delete(s.resident, id)
+			s.bytes -= f.bytes
+		}
+		s.mu.Unlock()
+	}
+	return pinned
+}
+
 // Free drops the node from the pool and releases its page in the store.
 // The node must be unpinned.
 func (p *Pool) Free(id page.ID) error {

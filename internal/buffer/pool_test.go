@@ -174,6 +174,59 @@ func TestFlushPersists(t *testing.T) {
 	p2.Unpin(n.ID, false)
 }
 
+func TestInvalidateDropsStaleFrames(t *testing.T) {
+	p, _ := newPool(t, 0)
+
+	// Two nodes flushed to the store, then dirtied in the pool so the
+	// resident copies diverge from the durable image.
+	n1, _ := p.NewNode(0, 1024)
+	addRecord(n1, 1)
+	p.Unpin(n1.ID, true)
+	n2, _ := p.NewNode(0, 1024)
+	addRecord(n2, 2)
+	p.Unpin(n2.ID, true)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []page.ID{n1.ID, n2.ID} {
+		n, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addRecord(n, 99) // never flushed: stale after a failed commit
+		p.Unpin(id, true)
+	}
+	// A third node stays pinned; Invalidate must leave it alone.
+	n3, _ := p.NewNode(0, 1024)
+
+	if pinned := p.Invalidate(); pinned != 1 {
+		t.Fatalf("Invalidate reported %d pinned frames, want 1", pinned)
+	}
+
+	// The dirtied frames are gone: Get reloads the durable image, and the
+	// stale record was discarded rather than written back.
+	for i, id := range []page.ID{n1.ID, n2.ID} {
+		n, err := p.Get(id)
+		if err != nil {
+			t.Fatalf("Get after invalidate: %v", err)
+		}
+		if len(n.Records) != 1 || n.Records[0].ID != node.RecordID(i+1) {
+			t.Fatalf("node %v after invalidate has records %+v, want the flushed copy", id, n.Records)
+		}
+		p.Unpin(id, false)
+	}
+	// The pinned node survived untouched.
+	got, err := p.Get(n3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n3 {
+		t.Error("pinned frame was dropped by Invalidate")
+	}
+	p.Unpin(n3.ID, false)
+	p.Unpin(n3.ID, false) // release the original pin
+}
+
 func TestReadErrorPropagates(t *testing.T) {
 	p, st := newPool(t, 0)
 	n, _ := p.NewNode(0, 1024)

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"segidx/internal/node"
+	"segidx/internal/store"
+	"segidx/internal/store/faultstore"
+)
+
+// FuzzTreeOpsCrash is FuzzTreeOps wired into the fault-injection store:
+// the fuzzer picks an operation stream (inserts, deletes, flushes), a
+// disk op to cut power at, a tear length for the interrupted write, and a
+// crash-image policy. Whatever it picks, reopening must recover a
+// commit-boundary state:
+//
+//   - no Flush ever completed: an empty store (ErrNoMeta) or the state of
+//     an interrupted commit that made it to the log;
+//   - otherwise: the state at the last completed Flush, or — when the
+//     power cut landed inside a later Flush — the state that Flush was
+//     committing.
+func FuzzTreeOpsCrash(f *testing.F) {
+	f.Add([]byte{}, uint16(0), byte(0), byte(0), false)
+	{
+		// Inserts, a flush, more inserts, another flush; cut during the
+		// second commit with a whole-page tear under each policy.
+		var seed []byte
+		for i := 0; i < 20; i++ {
+			seed = append(seed, 0, byte(i*7), byte(i*11), byte(i*7+3), byte(i*11+5), byte(i), byte(i*3), byte(i), byte(i*3))
+		}
+		seed = append(seed, 3) // flush
+		for i := 20; i < 32; i++ {
+			seed = append(seed, 0, byte(i*5), byte(i*13), byte(i*5+2), byte(i*13+4), byte(i), byte(i*3), byte(i), byte(i*3))
+		}
+		seed = append(seed, 3)
+		for _, policy := range []byte{0, 1, 2} {
+			f.Add(seed, uint16(30), byte(255), policy, false)
+			f.Add(seed, uint16(30), byte(5), policy, true)
+			f.Add(seed, uint16(3), byte(0), policy, false)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, crashAt uint16, tearSel, policySel byte, spanning bool) {
+		if len(data) > 512 {
+			t.Skip() // bound per-input work
+		}
+		tear := int(tearSel)
+		if tear > 200 {
+			tear = 1 << 20 // "the whole write made it, then the power died"
+		}
+		policies := []faultstore.CrashPolicy{faultstore.KeepNone, faultstore.KeepAll, faultstore.KeepSubset}
+		policy := policies[int(policySel)%len(policies)]
+
+		disk := faultstore.NewDisk()
+		if crashAt > 0 {
+			disk.SetCrashPoint(int(crashAt), tear)
+		}
+		ws, err := store.OpenWALStoreIn(disk, "idx.db")
+		if err != nil {
+			if disk.Crashed() {
+				return // open itself can be cut; nothing was ever committed
+			}
+			t.Fatal(err)
+		}
+		defer ws.Close()
+		cfg := smallConfig(spanning)
+		tr, err := New(cfg, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m := newModel()
+		var lastCommitted *model // oracle at the last completed Flush
+		snapshot := func() *model {
+			s := newModel()
+			for id, r := range m.rects {
+				s.insert(r, id)
+			}
+			return s
+		}
+
+		ops := &fuzzOps{data: data}
+		nextID := node.RecordID(1)
+		var live []node.RecordID
+		var opErr error
+	workload:
+		for ops.more() && opErr == nil {
+			switch ops.byte() % 4 {
+			case 0: // insert
+				r := ops.rect()
+				if opErr = tr.Insert(r, nextID); opErr != nil {
+					break workload
+				}
+				m.insert(r, nextID)
+				live = append(live, nextID)
+				nextID++
+			case 1: // delete
+				if len(live) == 0 {
+					continue
+				}
+				i := int(ops.byte()) % len(live)
+				id := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if _, opErr = tr.Delete(id, m.rects[id]); opErr != nil {
+					break workload
+				}
+				m.delete(id)
+			case 2: // search (reads can also hit the power cut)
+				if _, opErr = tr.Search(ops.rect()); opErr != nil {
+					break workload
+				}
+			case 3: // flush = commit boundary
+				if opErr = tr.Flush(); opErr != nil {
+					break workload
+				}
+				lastCommitted = snapshot()
+			}
+		}
+		if opErr == nil {
+			opErr = tr.Close()
+		}
+
+		if !disk.Crashed() {
+			if opErr != nil {
+				t.Fatalf("fault-free run failed: %v", opErr)
+			}
+			// Close committed everything; a reopen must see the final model.
+			img := disk.CrashImage(faultstore.KeepNone, 0) // synced state only
+			checkCrashRecovery(t, cfg, img, snapshot(), snapshot())
+			return
+		}
+		if opErr == nil {
+			t.Fatal("disk crashed but the workload reported success")
+		}
+		img := disk.CrashImage(policy, uint64(policySel)*31+uint64(tearSel))
+		checkCrashRecovery(t, cfg, img, lastCommitted, snapshot())
+	})
+}
+
+// checkCrashRecovery reopens a crash image and asserts the recovered tree
+// is one of the two states that may be durable: the last completed commit
+// (nil = nothing ever committed) or the state the in-flight commit was
+// writing.
+func checkCrashRecovery(t *testing.T, cfg Config, img *faultstore.Disk, lastCommitted, inFlight *model) {
+	t.Helper()
+	ws, err := store.OpenWALStoreIn(img, "idx.db")
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer ws.Close()
+	tr, err := Open(cfg, ws)
+	if errors.Is(err, ErrNoMeta) {
+		if lastCommitted != nil {
+			t.Fatalf("a completed commit (%d records) vanished: reopen says ErrNoMeta", len(lastCommitted.rects))
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("recovered tree violates invariants: %v", err)
+	}
+	if lastCommitted != nil && treeMatchesModel(t, tr, lastCommitted) {
+		return
+	}
+	if treeMatchesModel(t, tr, inFlight) {
+		return
+	}
+	t.Fatalf("recovered tree (%d records) matches neither the last commit nor the in-flight one", tr.Len())
+}

@@ -115,15 +115,38 @@ func (t *Tree) NodeCount() int { return t.store.Len() - 1 }
 func (t *Tree) PoolStats() buffer.Stats { return t.pool.Stats() }
 
 // Flush writes all dirty nodes and the tree metadata back to the page
-// store. A tree over a durable store must be flushed before close to be
-// reopenable with Open.
+// store, then commits if the store is transactional (store.Committer,
+// e.g. WALStore). Over a committing store Flush is atomic: a crash at any
+// point recovers either the pre-flush tree or the post-flush tree, never
+// a hybrid. A tree over a durable store must be flushed before close to
+// be reopenable with Open.
 func (t *Tree) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+// flushLocked writes dirty nodes plus metadata and commits. The caller
+// must hold the write lock on t.mu.
+func (t *Tree) flushLocked() error {
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
-	return t.writeMeta()
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	c, ok := t.store.(store.Committer)
+	if !ok {
+		return nil
+	}
+	if err := c.Commit(); err != nil {
+		// The durable image is some earlier commit boundary; resident
+		// nodes no longer describe it. Drop them so nothing stale is
+		// served or written back.
+		t.pool.Invalidate()
+		return err
+	}
+	return nil
 }
 
 // Close flushes the index and closes the underlying page store. The tree
@@ -132,11 +155,7 @@ func (t *Tree) Flush() error {
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	err := t.pool.Flush()
-	if err == nil {
-		err = t.writeMeta()
-	}
-	return errors.Join(err, t.store.Close())
+	return errors.Join(t.flushLocked(), t.store.Close())
 }
 
 // leafCap returns the record capacity of a leaf node.

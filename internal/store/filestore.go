@@ -2,13 +2,19 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 
 	"segidx/internal/page"
 )
+
+// ErrBroken is returned by every operation on a FileStore (or WALStore)
+// after a failed Sync. A sync failure means the kernel may have dropped
+// dirty pages on the floor; continuing to write would silently mix
+// durable and lost data, so the store turns itself off instead.
+var ErrBroken = errors.New("store: broken after failed sync")
 
 // FileStore is a durable single-file Store.
 //
@@ -21,14 +27,20 @@ import (
 // extending the file. Opening an existing file rebuilds the page table and
 // free lists with a single forward scan, so no separate metadata needs to
 // stay consistent with the data (a torn final slot is truncated away).
+//
+// A bare FileStore offers page-at-a-time durability only: a crash between
+// two Writes of one logical update leaves the mix on disk. Wrap it in a
+// WALStore for atomic multi-page commits.
 type FileStore struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      File
 	pages  map[page.ID]slot
 	free   map[int][]int64 // size -> slot offsets
 	next   page.ID
 	size   int64 // logical end of file
 	closed bool
+	sick   error // sticky failure; non-nil after a failed Sync
+	closeE error // result of the first Close, replayed by later Closes
 }
 
 type slot struct {
@@ -44,11 +56,18 @@ const (
 	maxPageSize = 1 << 26 // sanity bound when scanning
 )
 
-// OpenFileStore opens or creates the file store at path.
+// OpenFileStore opens or creates the file store at path on the real
+// filesystem.
 func OpenFileStore(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileStoreIn(OS, path)
+}
+
+// OpenFileStoreIn opens or creates the file store named path inside fsys.
+// Crash tests pass a fault-injecting filesystem here.
+func OpenFileStoreIn(fsys FS, path string) (*FileStore, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: open %s: %w", path, err)
+		return nil, err
 	}
 	fs := &FileStore{
 		f:     f,
@@ -57,19 +76,17 @@ func OpenFileStore(path string) (*FileStore, error) {
 		next:  1,
 	}
 	if err := fs.recover(); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return fs, nil
 }
 
 // recover scans the file to rebuild the page table and free lists.
 func (fs *FileStore) recover() error {
-	info, err := fs.f.Stat()
+	end, err := fs.f.Size()
 	if err != nil {
-		return fmt.Errorf("store: stat: %w", err)
+		return fmt.Errorf("store: size: %w", err)
 	}
-	end := info.Size()
 	var off int64
 	hdr := make([]byte, slotHeader)
 	for off+slotHeader <= end {
@@ -103,6 +120,18 @@ func (fs *FileStore) recover() error {
 	return fs.f.Truncate(off)
 }
 
+// usableLocked rejects operations on a closed or broken store. The caller
+// must hold fs.mu.
+func (fs *FileStore) usableLocked() error {
+	if fs.sick != nil {
+		return fs.sick
+	}
+	if fs.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 func (fs *FileStore) writeHeader(off int64, state byte, size int, id page.ID) error {
 	hdr := make([]byte, slotHeader)
 	binary.LittleEndian.PutUint32(hdr[0:4], slotMagic)
@@ -113,6 +142,38 @@ func (fs *FileStore) writeHeader(off int64, state byte, size int, id page.ID) er
 	return err
 }
 
+// placeLocked finds a slot for a new page of the given size — reusing a
+// freed slot or extending the file — zeroes its body, and writes a live
+// header carrying id. The caller must hold fs.mu.
+func (fs *FileStore) placeLocked(id page.ID, size int) error {
+	var off int64
+	reused := false
+	if frees := fs.free[size]; len(frees) > 0 {
+		off = frees[len(frees)-1]
+		fs.free[size] = frees[:len(frees)-1]
+		reused = true
+	} else {
+		off = fs.size
+	}
+	// Zero the body first so fresh pages read back zeroed whether the slot
+	// is reused or newly extended; the header flips to live only after.
+	zero := make([]byte, size)
+	if _, err := fs.f.WriteAt(zero, off+slotHeader); err != nil {
+		if reused {
+			fs.free[size] = append(fs.free[size], off)
+		}
+		return fmt.Errorf("store: zero slot: %w", err)
+	}
+	if !reused {
+		fs.size = off + slotHeader + int64(size)
+	}
+	if err := fs.writeHeader(off, stateLive, size, id); err != nil {
+		return fmt.Errorf("store: slot header: %w", err)
+	}
+	fs.pages[id] = slot{off: off, size: size}
+	return nil
+}
+
 // Allocate reserves a page, reusing a freed slot of identical size if one
 // exists.
 func (fs *FileStore) Allocate(size int) (page.ID, error) {
@@ -121,48 +182,78 @@ func (fs *FileStore) Allocate(size int) (page.ID, error) {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return page.Nil, ErrClosed
+	if err := fs.usableLocked(); err != nil {
+		return page.Nil, err
 	}
 	id := fs.next
+	if err := fs.placeLocked(id, size); err != nil {
+		return page.Nil, err
+	}
 	fs.next++
-	var off int64
-	if frees := fs.free[size]; len(frees) > 0 {
-		off = frees[len(frees)-1]
-		fs.free[size] = frees[:len(frees)-1]
-		// Zero the reused slot body so fresh pages read back zeroed, the
-		// same contract as newly extended slots.
-		zero := make([]byte, size)
-		if _, err := fs.f.WriteAt(zero, off+slotHeader); err != nil {
-			fs.free[size] = append(fs.free[size], off)
-			fs.next--
-			return page.Nil, fmt.Errorf("store: zero reused slot: %w", err)
-		}
-	} else {
-		off = fs.size
-		// Extend with a zeroed slot body so reads of never-written pages
-		// succeed.
-		zero := make([]byte, size)
-		if _, err := fs.f.WriteAt(zero, off+slotHeader); err != nil {
-			fs.next--
-			return page.Nil, fmt.Errorf("store: extend: %w", err)
-		}
-		fs.size = off + slotHeader + int64(size)
-	}
-	if err := fs.writeHeader(off, stateLive, size, id); err != nil {
-		fs.next--
-		return page.Nil, fmt.Errorf("store: allocate header: %w", err)
-	}
-	fs.pages[id] = slot{off: off, size: size}
 	return id, nil
+}
+
+// NextID reports the ID the next Allocate will return. WALStore mirrors
+// the counter to hand out IDs for allocations it has buffered but not yet
+// applied.
+func (fs *FileStore) NextID() page.ID {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.next
+}
+
+// ApplyAlloc materializes an allocation with a caller-chosen ID. It is
+// idempotent — re-applying after a crash mid-commit re-zeroes the slot
+// body, which is correct because WAL replay re-applies any Write records
+// that follow. Used only by WAL replay/commit; regular callers Allocate.
+func (fs *FileStore) ApplyAlloc(id page.ID, size int) error {
+	if size <= 0 {
+		return sizeMismatch(id, size, size)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.usableLocked(); err != nil {
+		return err
+	}
+	if s, ok := fs.pages[id]; ok {
+		if s.size != size {
+			return sizeMismatch(id, s.size, size)
+		}
+		// Already placed by an earlier (interrupted) apply; restore the
+		// fresh-page contract for the benefit of replayed reads.
+		zero := make([]byte, size)
+		if _, err := fs.f.WriteAt(zero, s.off+slotHeader); err != nil {
+			return fmt.Errorf("store: re-zero slot: %w", err)
+		}
+	} else if err := fs.placeLocked(id, size); err != nil {
+		return err
+	}
+	if id >= fs.next {
+		fs.next = id + 1
+	}
+	return nil
+}
+
+// ApplyFree is the idempotent form of Free used by WAL replay: freeing a
+// page that is already gone is a no-op rather than ErrNotFound.
+func (fs *FileStore) ApplyFree(id page.ID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.usableLocked(); err != nil {
+		return err
+	}
+	if _, ok := fs.pages[id]; !ok {
+		return nil
+	}
+	return fs.freeLocked(id)
 }
 
 // Write replaces the page contents in place.
 func (fs *FileStore) Write(id page.ID, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return ErrClosed
+	if err := fs.usableLocked(); err != nil {
+		return err
 	}
 	s, ok := fs.pages[id]
 	if !ok {
@@ -179,8 +270,8 @@ func (fs *FileStore) Write(id page.ID, data []byte) error {
 func (fs *FileStore) Read(id page.ID) ([]byte, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return nil, ErrClosed
+	if err := fs.usableLocked(); err != nil {
+		return nil, err
 	}
 	s, ok := fs.pages[id]
 	if !ok {
@@ -197,13 +288,19 @@ func (fs *FileStore) Read(id page.ID) ([]byte, error) {
 func (fs *FileStore) Free(id page.ID) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return ErrClosed
+	if err := fs.usableLocked(); err != nil {
+		return err
 	}
-	s, ok := fs.pages[id]
-	if !ok {
+	if _, ok := fs.pages[id]; !ok {
 		return ErrNotFound
 	}
+	return fs.freeLocked(id)
+}
+
+// freeLocked marks the page's slot free on disk and in the free lists. The
+// caller must hold fs.mu and have checked the page exists.
+func (fs *FileStore) freeLocked(id page.ID) error {
+	s := fs.pages[id]
 	if err := fs.writeHeader(s.off, stateFree, s.size, 0); err != nil {
 		return fmt.Errorf("store: free header: %w", err)
 	}
@@ -216,8 +313,8 @@ func (fs *FileStore) Free(id page.ID) error {
 func (fs *FileStore) PageSize(id page.ID) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return 0, ErrClosed
+	if err := fs.usableLocked(); err != nil {
+		return 0, err
 	}
 	s, ok := fs.pages[id]
 	if !ok {
@@ -233,27 +330,47 @@ func (fs *FileStore) Len() int {
 	return len(fs.pages)
 }
 
-// Sync flushes file contents to stable storage.
+// Sync flushes file contents to stable storage. A failed sync permanently
+// breaks the store: every later operation (including Sync and Write)
+// returns ErrBroken, because the kernel may have already discarded the
+// dirty pages the failed call was meant to persist.
 func (fs *FileStore) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return ErrClosed
+	if err := fs.usableLocked(); err != nil {
+		return err
 	}
-	return fs.f.Sync()
+	return fs.syncLocked()
 }
 
-// Close syncs and closes the backing file.
+// syncLocked syncs the backing file and latches the sticky failure state.
+// The caller must hold fs.mu.
+func (fs *FileStore) syncLocked() error {
+	if err := fs.f.Sync(); err != nil {
+		fs.sick = fmt.Errorf("%w: %v", ErrBroken, err)
+		return fs.sick
+	}
+	return nil
+}
+
+// Close syncs and closes the backing file. Close is idempotent: repeated
+// calls return the first call's result without touching the file again.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.closed {
-		return nil
+		return fs.closeE
 	}
 	fs.closed = true
-	if err := fs.f.Sync(); err != nil {
-		fs.f.Close()
-		return err
+	if fs.sick != nil {
+		// Already broken: release the descriptor but report the breakage.
+		fs.closeE = errors.Join(fs.sick, fs.f.Close())
+		return fs.closeE
 	}
-	return fs.f.Close()
+	if err := fs.syncLocked(); err != nil {
+		fs.closeE = errors.Join(err, fs.f.Close())
+		return fs.closeE
+	}
+	fs.closeE = fs.f.Close()
+	return fs.closeE
 }

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is the random-access file-handle surface the durable stores are
+// written against. *os.File satisfies it via the osFile adapter; the
+// fault-injection filesystem used by crash tests provides a simulated
+// implementation with the same semantics (including short writes and
+// post-power-cut failures).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate changes the file size; extending zero-fills.
+	Truncate(size int64) error
+	// Size reports the current file length in bytes.
+	Size() (int64, error)
+	// Sync flushes written data to stable storage. Data not synced may be
+	// lost, reordered, or partially applied by a crash.
+	Sync() error
+	Close() error
+}
+
+// FS opens the files a store needs. Implementations: OS (the real
+// filesystem) and faultstore.Disk (deterministic crash simulation).
+type FS interface {
+	// OpenFile opens name read-write, creating it if absent.
+	OpenFile(name string) (File, error)
+	// Remove deletes name; removing a missing file is not an error.
+	Remove(name string) error
+}
+
+// OS is the real-filesystem FS.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", name, err)
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// osFile adapts *os.File to the File interface (Size instead of Stat).
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

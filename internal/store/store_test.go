@@ -18,9 +18,14 @@ func stores(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatalf("OpenFileStore: %v", err)
 	}
+	ws, err := OpenWALStore(filepath.Join(t.TempDir(), "wal-pages.db"))
+	if err != nil {
+		t.Fatalf("OpenWALStore: %v", err)
+	}
 	return map[string]Store{
 		"mem":  NewMemStore(),
 		"file": fs,
+		"wal":  ws,
 	}
 }
 

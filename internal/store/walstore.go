@@ -1,0 +1,466 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+
+	"segidx/internal/page"
+)
+
+// Committer is implemented by stores whose mutations become durable only
+// at explicit commit points. Between commits, reads observe the pending
+// mutations; a crash discards them atomically.
+type Committer interface {
+	// Commit makes every mutation since the previous Commit durable as one
+	// atomic unit: after a crash at any byte offset, recovery observes
+	// either all of the batch or none of it.
+	Commit() error
+}
+
+// WALStore makes a FileStore crash-consistent. Allocate, Write, and Free
+// are buffered in memory; Commit appends the whole batch to a checksummed
+// write-ahead log, fsyncs it, applies the batch to the FileStore in place,
+// fsyncs that, and trims the log. Opening a WALStore replays the log: a
+// complete, checksum-valid batch is finished (idempotently — a crash
+// mid-apply re-applies), anything less is discarded, so the store always
+// recovers to exactly a commit boundary.
+//
+// The log holds at most one batch: it is truncated (and the truncation
+// synced) before Commit returns, so recovery never has to order batches.
+//
+// Log layout (little endian):
+//
+//	batch:  [magic u32 "SGWB"][record count u32] records... trailer
+//	record: [op u8][page id u64][n u32][n data bytes — writes only]
+//	        op 1 = alloc (n is the page size), 2 = write, 3 = free
+//	trailer:[magic u32 "SGWC"][crc32 u32 over everything before the trailer]
+//
+// A torn batch cannot masquerade as a complete one: the record count fixes
+// how many records must parse, and the trailer checksum covers them all.
+type WALStore struct {
+	mu    sync.Mutex
+	inner *FileStore
+	log   File
+
+	// Pending mutations since the last commit. An id allocated and freed
+	// in the same batch cancels out of all three maps.
+	allocs map[page.ID]int    // pending new pages: id -> size
+	writes map[page.ID][]byte // pending contents (pending or existing pages)
+	freed  map[page.ID]bool   // existing pages pending release
+
+	nextID page.ID
+	closed bool
+	sick   error // sticky failure; non-nil after a failed commit or sync
+	closeE error
+}
+
+const (
+	walBatchMagic  = 0x53475742 // "SGWB"
+	walCommitMagic = 0x53475743 // "SGWC"
+	walRecHeader   = 1 + 8 + 4
+	walOpAlloc     = 1
+	walOpWrite     = 2
+	walOpFree      = 3
+)
+
+// WALSuffix is appended to the store path to name the write-ahead log.
+const WALSuffix = ".wal"
+
+// OpenWALStore opens or creates a crash-consistent store at path on the
+// real filesystem. The log lives beside it at path+WALSuffix.
+func OpenWALStore(path string) (*WALStore, error) {
+	return OpenWALStoreIn(OS, path)
+}
+
+// OpenWALStoreIn opens or creates a crash-consistent store named path
+// inside fsys, replaying (or discarding) any interrupted commit.
+func OpenWALStoreIn(fsys FS, path string) (*WALStore, error) {
+	inner, err := OpenFileStoreIn(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	logf, err := fsys.OpenFile(path + WALSuffix)
+	if err != nil {
+		return nil, errors.Join(err, inner.Close())
+	}
+	ws := &WALStore{
+		inner:  inner,
+		log:    logf,
+		allocs: make(map[page.ID]int),
+		writes: make(map[page.ID][]byte),
+		freed:  make(map[page.ID]bool),
+	}
+	if err := ws.replay(); err != nil {
+		return nil, errors.Join(err, logf.Close(), inner.Close())
+	}
+	ws.nextID = inner.NextID()
+	return ws, nil
+}
+
+// replay finishes or discards the batch found in the log at open.
+func (ws *WALStore) replay() error {
+	size, err := ws.log.Size()
+	if err != nil {
+		return fmt.Errorf("store: wal size: %w", err)
+	}
+	if size == 0 {
+		return nil
+	}
+	buf := make([]byte, size)
+	if _, err := ws.log.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("store: wal read: %w", err)
+	}
+	recs, ok := parseBatch(buf)
+	if !ok {
+		// Interrupted before the commit record was durable: the batch
+		// never happened. Discard it.
+		return ws.trimLog()
+	}
+	if err := ws.applyLocked(recs); err != nil {
+		return err
+	}
+	if err := ws.inner.Sync(); err != nil {
+		return err
+	}
+	return ws.trimLog()
+}
+
+// trimLog empties the log and syncs the truncation so a later crash cannot
+// resurrect a stale batch over a newer store state.
+func (ws *WALStore) trimLog() error {
+	if err := ws.log.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal trim: %w", err)
+	}
+	if err := ws.log.Sync(); err != nil {
+		return fmt.Errorf("store: wal trim sync: %w", err)
+	}
+	return nil
+}
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	op   byte
+	id   page.ID
+	size int    // alloc page size
+	data []byte // write contents
+}
+
+// parseBatch decodes a log image. ok is false when the image is anything
+// other than a complete, checksum-valid batch.
+func parseBatch(buf []byte) ([]walRecord, bool) {
+	if len(buf) < 8 || binary.LittleEndian.Uint32(buf[0:4]) != walBatchMagic {
+		return nil, false
+	}
+	count := int(binary.LittleEndian.Uint32(buf[4:8]))
+	off := 8
+	recs := make([]walRecord, 0, count)
+	for i := 0; i < count; i++ {
+		if off+walRecHeader > len(buf) {
+			return nil, false
+		}
+		op := buf[off]
+		id := page.ID(binary.LittleEndian.Uint64(buf[off+1 : off+9]))
+		n := int(binary.LittleEndian.Uint32(buf[off+9 : off+13]))
+		off += walRecHeader
+		rec := walRecord{op: op, id: id}
+		switch op {
+		case walOpAlloc:
+			if n <= 0 || n > maxPageSize {
+				return nil, false
+			}
+			rec.size = n
+		case walOpWrite:
+			if n < 0 || off+n > len(buf) {
+				return nil, false
+			}
+			rec.data = buf[off : off+n]
+			off += n
+		case walOpFree:
+			if n != 0 {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+		recs = append(recs, rec)
+	}
+	if off+8 > len(buf) {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(buf[off:off+4]) != walCommitMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(buf[off+4:off+8]) != crc32.ChecksumIEEE(buf[:off]) {
+		return nil, false
+	}
+	return recs, true
+}
+
+// applyLocked applies a parsed batch to the inner store using its
+// idempotent primitives, so re-applying after a crash mid-apply converges
+// on the same state.
+func (ws *WALStore) applyLocked(recs []walRecord) error {
+	for _, r := range recs {
+		var err error
+		switch r.op {
+		case walOpAlloc:
+			err = ws.inner.ApplyAlloc(r.id, r.size)
+		case walOpWrite:
+			err = ws.inner.Write(r.id, r.data)
+		case walOpFree:
+			err = ws.inner.ApplyFree(r.id)
+		}
+		if err != nil {
+			return fmt.Errorf("store: wal apply op %d on %v: %w", r.op, r.id, err)
+		}
+	}
+	return nil
+}
+
+// usableLocked rejects operations on a closed or broken store. The caller
+// must hold ws.mu.
+func (ws *WALStore) usableLocked() error {
+	if ws.sick != nil {
+		return ws.sick
+	}
+	if ws.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Allocate reserves a page ID. The page exists only in the pending batch
+// until Commit.
+func (ws *WALStore) Allocate(size int) (page.ID, error) {
+	if size <= 0 {
+		return page.Nil, sizeMismatch(page.Nil, size, size)
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.usableLocked(); err != nil {
+		return page.Nil, err
+	}
+	id := ws.nextID
+	ws.nextID++
+	ws.allocs[id] = size
+	return id, nil
+}
+
+// pageSizeLocked resolves a live page's size across pending state and the
+// inner store. The caller must hold ws.mu.
+func (ws *WALStore) pageSizeLocked(id page.ID) (int, error) {
+	if ws.freed[id] {
+		return 0, ErrNotFound
+	}
+	if size, ok := ws.allocs[id]; ok {
+		return size, nil
+	}
+	return ws.inner.PageSize(id)
+}
+
+// Write buffers new page contents for the next commit.
+func (ws *WALStore) Write(id page.ID, data []byte) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.usableLocked(); err != nil {
+		return err
+	}
+	size, err := ws.pageSizeLocked(id)
+	if err != nil {
+		return err
+	}
+	if len(data) != size {
+		return sizeMismatch(id, size, len(data))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ws.writes[id] = buf
+	return nil
+}
+
+// Read returns the page contents as the next commit would persist them.
+func (ws *WALStore) Read(id page.ID) ([]byte, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.usableLocked(); err != nil {
+		return nil, err
+	}
+	if ws.freed[id] {
+		return nil, ErrNotFound
+	}
+	if buf, ok := ws.writes[id]; ok {
+		out := make([]byte, len(buf))
+		copy(out, buf)
+		return out, nil
+	}
+	if size, ok := ws.allocs[id]; ok {
+		return make([]byte, size), nil
+	}
+	return ws.inner.Read(id)
+}
+
+// Free buffers the release of a page. Freeing a page allocated in the same
+// batch cancels the allocation entirely.
+func (ws *WALStore) Free(id page.ID) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.usableLocked(); err != nil {
+		return err
+	}
+	if ws.freed[id] {
+		return ErrNotFound
+	}
+	if _, ok := ws.allocs[id]; ok {
+		delete(ws.allocs, id)
+		delete(ws.writes, id)
+		return nil
+	}
+	if _, err := ws.inner.PageSize(id); err != nil {
+		return err
+	}
+	delete(ws.writes, id)
+	ws.freed[id] = true
+	return nil
+}
+
+// PageSize reports the allocated size of a live page.
+func (ws *WALStore) PageSize(id page.ID) (int, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.usableLocked(); err != nil {
+		return 0, err
+	}
+	return ws.pageSizeLocked(id)
+}
+
+// Len reports the number of live pages, counting pending allocations and
+// discounting pending frees.
+func (ws *WALStore) Len() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.inner.Len() + len(ws.allocs) - len(ws.freed)
+}
+
+// Pending reports the number of buffered mutations awaiting Commit.
+func (ws *WALStore) Pending() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return len(ws.allocs) + len(ws.writes) + len(ws.freed)
+}
+
+// encodeBatchLocked serializes the pending mutations in canonical order
+// (allocs, then writes, then frees, each sorted by page ID) so the on-disk
+// commit image is deterministic. The caller must hold ws.mu.
+func (ws *WALStore) encodeBatchLocked() []byte {
+	count := len(ws.allocs) + len(ws.writes) + len(ws.freed)
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, walBatchMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(count))
+	rec := func(op byte, id page.ID, n int) {
+		buf = append(buf, op)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	}
+	for _, id := range sortedIDs(ws.allocs) {
+		rec(walOpAlloc, id, ws.allocs[id])
+	}
+	for _, id := range sortedIDs(ws.writes) {
+		rec(walOpWrite, id, len(ws.writes[id]))
+		buf = append(buf, ws.writes[id]...)
+	}
+	for _, id := range sortedIDs(ws.freed) {
+		rec(walOpFree, id, 0)
+	}
+	crc := crc32.ChecksumIEEE(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, walCommitMagic)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// pendingRecordsLocked converts the pending maps to the same canonical
+// record order the encoder writes. The caller must hold ws.mu.
+func (ws *WALStore) pendingRecordsLocked() []walRecord {
+	recs := make([]walRecord, 0, len(ws.allocs)+len(ws.writes)+len(ws.freed))
+	for _, id := range sortedIDs(ws.allocs) {
+		recs = append(recs, walRecord{op: walOpAlloc, id: id, size: ws.allocs[id]})
+	}
+	for _, id := range sortedIDs(ws.writes) {
+		recs = append(recs, walRecord{op: walOpWrite, id: id, data: ws.writes[id]})
+	}
+	for _, id := range sortedIDs(ws.freed) {
+		recs = append(recs, walRecord{op: walOpFree, id: id})
+	}
+	return recs
+}
+
+func sortedIDs[V any](m map[page.ID]V) []page.ID {
+	ids := make([]page.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Commit makes the pending batch durable: log, sync, apply in place, sync,
+// trim. Any failure on that path permanently breaks the store — the
+// durable image is still exactly a commit boundary (recoverable by
+// reopening), but the in-memory state can no longer be trusted to match
+// it.
+func (ws *WALStore) Commit() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.usableLocked(); err != nil {
+		return err
+	}
+	if len(ws.allocs)+len(ws.writes)+len(ws.freed) == 0 {
+		return nil
+	}
+	fail := func(err error) error {
+		ws.sick = fmt.Errorf("%w: %w", ErrBroken, err)
+		return ws.sick
+	}
+	batch := ws.encodeBatchLocked()
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return fail(fmt.Errorf("store: wal append: %w", err))
+	}
+	if err := ws.log.Sync(); err != nil {
+		return fail(fmt.Errorf("store: wal sync: %w", err))
+	}
+	// The batch is durable from here on: even if applying fails, reopening
+	// replays the log to completion.
+	if err := ws.applyLocked(ws.pendingRecordsLocked()); err != nil {
+		return fail(err)
+	}
+	if err := ws.inner.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := ws.trimLog(); err != nil {
+		return fail(err)
+	}
+	ws.allocs = make(map[page.ID]int)
+	ws.writes = make(map[page.ID][]byte)
+	ws.freed = make(map[page.ID]bool)
+	return nil
+}
+
+// Close discards any uncommitted batch (rollback) and closes the log and
+// the inner store. Close is idempotent: repeated calls return the first
+// call's result.
+func (ws *WALStore) Close() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.closed {
+		return ws.closeE
+	}
+	ws.closed = true
+	ws.closeE = errors.Join(ws.log.Close(), ws.inner.Close())
+	if ws.sick != nil {
+		ws.closeE = errors.Join(ws.sick, ws.closeE)
+	}
+	return ws.closeE
+}

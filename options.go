@@ -11,10 +11,11 @@ import (
 type Option func(*options) error
 
 type options struct {
-	cfg  core.Config
-	st   store.Store
-	path string
-	par  int
+	cfg     core.Config
+	st      store.Store
+	path    string
+	durable bool
+	par     int
 }
 
 func resolve(opts []Option) (*options, error) {
@@ -44,6 +45,13 @@ func (o *options) openStore() (store.Store, bool, error) {
 		return o.st, false, nil
 	}
 	if o.path != "" {
+		if o.durable {
+			ws, err := store.OpenWALStore(o.path)
+			if err != nil {
+				return nil, false, err
+			}
+			return ws, true, nil
+		}
 		fs, err := store.OpenFileStore(o.path)
 		if err != nil {
 			return nil, false, err
@@ -183,6 +191,23 @@ func WithFile(path string) Option {
 			return fmt.Errorf("segidx: empty file path")
 		}
 		o.path = path
+		return nil
+	}
+}
+
+// WithDurableFile stores index pages in a single file at path behind a
+// write-ahead log (a sibling file with a ".wal" suffix). Flush becomes a
+// crash-atomic commit: after a crash at any point, reopening with
+// OpenDurable recovers the state of the last completed Flush — never a
+// torn hybrid. Each Flush costs an fsync of the log and of the page file;
+// see EXPERIMENTS.md for the measured overhead.
+func WithDurableFile(path string) Option {
+	return func(o *options) error {
+		if path == "" {
+			return fmt.Errorf("segidx: empty file path")
+		}
+		o.path = path
+		o.durable = true
 		return nil
 	}
 }

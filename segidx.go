@@ -331,13 +331,29 @@ func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, 
 // configuration (dimensions, page sizes, spanning mode); options may tune
 // runtime knobs such as the buffer budget.
 func Open(path string, opts ...Option) (*Index, error) {
-	o, err := resolve(opts)
-	if err != nil {
-		return nil, err
-	}
 	fs, err := store.OpenFileStore(path)
 	if err != nil {
 		return nil, err
+	}
+	return openStore(fs, opts)
+}
+
+// OpenDurable reattaches an index created via WithDurableFile. Opening
+// replays the write-ahead log first: an interrupted Flush is either
+// finished or discarded, so the index always comes back at a commit
+// boundary.
+func OpenDurable(path string, opts ...Option) (*Index, error) {
+	ws, err := store.OpenWALStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return openStore(ws, opts)
+}
+
+func openStore(fs store.Store, opts []Option) (*Index, error) {
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, errors.Join(err, fs.Close())
 	}
 	meta, err := core.ReadMeta(fs)
 	if err != nil {
