@@ -31,6 +31,11 @@ func (x *Index) SetParallelism(n int) {
 // results[i] holds the records intersecting queries[i], deduplicated by
 // ID, exactly as a sequential Search(queries[i]) would return them.
 //
+// Workers draw per-query contexts (traversal stack, pin cache, dedup
+// set, result arena) from the tree's shared pool, so a batch of N
+// workers settles on N recycled contexts: steady-state batch queries
+// allocate only the returned result slices.
+//
 // The first error stops the batch and is returned; a canceled context
 // returns ctx.Err(). On error the partial results are discarded. A nil
 // ctx is treated as context.Background().

@@ -33,7 +33,7 @@ func benchTuples() int {
 }
 
 // newFor constructs one empty index of the given kind for a spec.
-func newFor(b *testing.B, spec harness.Spec, kind harness.Kind) *segidx.Index {
+func newFor(b testing.TB, spec harness.Spec, kind harness.Kind) *segidx.Index {
 	b.Helper()
 	opts := []segidx.Option{
 		segidx.WithLeafNodeBytes(spec.LeafBytes),
@@ -67,7 +67,7 @@ func newFor(b *testing.B, spec harness.Spec, kind harness.Kind) *segidx.Index {
 }
 
 // buildFor constructs and loads one index type for a spec.
-func buildFor(b *testing.B, spec harness.Spec, kind harness.Kind) *segidx.Index {
+func buildFor(b testing.TB, spec harness.Spec, kind harness.Kind) *segidx.Index {
 	b.Helper()
 	idx := newFor(b, spec, kind)
 	for i, r := range spec.Dataset.Generate(spec.Tuples, spec.Seed) {

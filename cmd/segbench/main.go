@@ -12,6 +12,9 @@
 //	segbench -ablation reserve        # branch-reserve sweep (A1)
 //	segbench -parallel -workers 1,4,8 # concurrent read scale-up (BENCH JSON)
 //	segbench -durability -tuples 20000 # fsync cost of crash-safe commits
+//	segbench -hotpath -tuples 20000 -gate -out BENCH_hotpath.json
+//	                                  # zero-alloc read path gate + artifact
+//	segbench -graph 3 -profile g3     # also write g3.cpu.pprof, g3.heap.pprof
 //	segbench -list                    # what can be run
 package main
 
@@ -19,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -46,6 +51,11 @@ func main() {
 		workers    = flag.String("workers", "1,2,4,8", "worker counts for -parallel, ascending")
 		durability = flag.Bool("durability", false, "measure the fsync cost of crash-safe commits: mem vs file vs WAL store (emits BENCH JSON)")
 		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability")
+		hotpath    = flag.Bool("hotpath", false, "run the zero-allocation read path benchmarks (emits BENCH JSON)")
+		gate       = flag.Bool("gate", false, "with -hotpath: exit nonzero if a gated benchmark allocates")
+		out        = flag.String("out", "", "with -hotpath: also write the results as a JSON document (BENCH_hotpath.json)")
+		baseline   = flag.String("baseline", "", "with -hotpath: previous -out document to report before/after trajectory against")
+		profile    = flag.String("profile", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof covering the run")
 	)
 	flag.Parse()
 
@@ -56,6 +66,27 @@ func main() {
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	if *profile != "" {
+		stop, err := startProfiles(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		// fatal exits the process directly, skipping this defer: profiles
+		// are flushed only on successful runs.
+		defer stop()
+	}
+
+	if *hotpath {
+		k, err := parseKinds(*kinds)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runHotpath(*tuples, *seed, k, *gate, *out, *baseline, progress); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *parallel {
@@ -210,6 +241,39 @@ func printList() {
 	fmt.Println("\nother modes:")
 	fmt.Println("  -parallel    concurrent read scale-up (BENCH JSON)")
 	fmt.Println("  -durability  fsync cost of crash-safe commits: mem vs file vs WAL (BENCH JSON)")
+	fmt.Println("  -hotpath     zero-allocation read path benchmarks (BENCH JSON; -gate, -out, -baseline)")
+	fmt.Println("\nany mode accepts -profile PREFIX to write CPU and heap pprof files")
+}
+
+// startProfiles begins CPU profiling and returns a stop function that
+// finishes the CPU profile and writes a heap profile, to PREFIX.cpu.pprof
+// and PREFIX.heap.pprof.
+func startProfiles(prefix string) (func(), error) {
+	cpuPath := prefix + ".cpu.pprof"
+	heapPath := prefix + ".heap.pprof"
+	cpuF, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		heapF, err := os.Create(heapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "segbench: heap profile:", err)
+			return
+		}
+		runtime.GC() // get up-to-date live-object statistics
+		if err := pprof.WriteHeapProfile(heapF); err != nil {
+			fmt.Fprintln(os.Stderr, "segbench: heap profile:", err)
+		}
+		heapF.Close()
+		fmt.Fprintf(os.Stderr, "segbench: wrote %s and %s\n", cpuPath, heapPath)
+	}, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,119 @@
+//go:build !race
+
+package segidx_test
+
+// Allocation regression gates for the zero-allocation read path. Each test
+// asserts testing.AllocsPerRun == 0 for a view-lifetime query API on a
+// fully resident tree, for all four index variants. A regression here means
+// something on the search path started escaping to the heap — run the
+// benchmark in hotpath_bench_test.go with -memprofile to find it.
+//
+// The race detector instruments allocations and defeats the measurement,
+// so this file is excluded from -race builds (the CI bench smoke job still
+// runs the benchmarks themselves under -race for correctness).
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+// allocTuples keeps the alloc-gate trees small: residency is what matters,
+// not scale, and AllocsPerRun runs the probe many times.
+const allocTuples = 4000
+
+// withGCOff disables the collector for the duration of fn so a mid-probe
+// GC cannot clear the query-context sync.Pool and charge the refill to the
+// measured run.
+func withGCOff(fn func()) {
+	old := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(old)
+	fn()
+}
+
+func TestSearchFuncZeroAllocs(t *testing.T) {
+	for _, kind := range harness.AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			spec := harness.NewSpec("allocgate", workload.I3, allocTuples)
+			idx := buildFor(t, spec, kind)
+			defer idx.Close()
+			queries := hotpathQueries(spec)
+			warmResident(t, idx, queries)
+			fn := func(segidx.Entry) bool { return true }
+			i := 0
+			var avg float64
+			withGCOff(func() {
+				avg = testing.AllocsPerRun(100, func() {
+					if err := idx.SearchFunc(queries[i%len(queries)], fn); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				})
+			})
+			if avg != 0 {
+				t.Fatalf("SearchFunc allocates %g objects per call on a resident tree, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestStabFuncZeroAllocs(t *testing.T) {
+	for _, kind := range harness.AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			spec := harness.NewSpec("allocgate", workload.I3, allocTuples)
+			idx := buildFor(t, spec, kind)
+			defer idx.Close()
+			points := stabPoints(spec, 64)
+			fn := func(segidx.Entry) bool { return true }
+			for _, p := range points {
+				if err := idx.StabFunc(fn, p...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			var avg float64
+			withGCOff(func() {
+				avg = testing.AllocsPerRun(100, func() {
+					if err := idx.StabFunc(fn, points[i%len(points)]...); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				})
+			})
+			if avg != 0 {
+				t.Fatalf("StabFunc allocates %g objects per call on a resident tree, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestCountZeroAllocs(t *testing.T) {
+	for _, kind := range harness.AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			spec := harness.NewSpec("allocgate", workload.I3, allocTuples)
+			idx := buildFor(t, spec, kind)
+			defer idx.Close()
+			queries := hotpathQueries(spec)
+			warmResident(t, idx, queries)
+			i := 0
+			var avg float64
+			withGCOff(func() {
+				avg = testing.AllocsPerRun(100, func() {
+					if _, err := idx.Count(queries[i%len(queries)]); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				})
+			})
+			if avg != 0 {
+				t.Fatalf("Count allocates %g objects per call on a resident tree, want 0", avg)
+			}
+		})
+	}
+}

@@ -10,8 +10,8 @@
 //     importer (loader.go);
 //   - an Analyzer abstraction with typed Pass state and positioned
 //     Diagnostics;
-//   - the repo's custom passes: lockcheck, floatcmp, errchecklite, and
-//     nodepanic;
+//   - the repo's custom passes: lockcheck, floatcmp, errchecklite,
+//     nodepanic, and hotalloc;
 //   - a directive mechanism, "//seglint:allow <name>[,<name>...] — reason",
 //     that suppresses a named analyzer on the directive's line, on the line
 //     below it, or — when the directive appears in a function's doc
@@ -80,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers lists every pass the driver runs, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, FloatCmp, ErrCheckLite, NodePanic}
+	return []*Analyzer{LockCheck, FloatCmp, ErrCheckLite, NodePanic, HotAlloc}
 }
 
 // Run executes the given analyzers over a loaded package, drops findings

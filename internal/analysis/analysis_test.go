@@ -361,3 +361,50 @@ func TestMatchPatterns(t *testing.T) {
 		}
 	}
 }
+
+func TestHotAlloc(t *testing.T) {
+	checkFixture(t, HotAlloc, `package fixture
+
+type Rect struct{ Min, Max []float64 }
+
+func (r Rect) Clone() Rect {
+	return Rect{Min: append([]float64(nil), r.Min...), Max: append([]float64(nil), r.Max...)}
+}
+
+type queryCtx struct {
+	stack   []uint64
+	entries []Rect
+}
+
+type Tree struct{ qc queryCtx }
+
+// hot is on the read path.
+//
+//seglint:hotpath
+func (t *Tree) hot(r Rect) int {
+	seen := make(map[uint64]bool) // want hotalloc
+	buf := []float64{1, 2}        // want hotalloc
+	c := r.Clone()                // want hotalloc
+	var local []Rect
+	local = append(local, c) // want hotalloc
+	t.qc.stack = append(t.qc.stack, 1)
+	t.qc.entries = append(t.qc.entries, r)
+	return len(seen) + len(buf) + len(local) + len(t.qc.stack)
+}
+
+// hotAllowed documents a deliberate exception.
+//
+//seglint:hotpath
+func (t *Tree) hotAllowed(r Rect) Rect {
+	//seglint:allow hotalloc — fixture: cold error branch
+	c := r.Clone()
+	return c
+}
+
+// cold is unmarked: the same constructs are fine here.
+func (t *Tree) cold(r Rect) []Rect {
+	out := make([]Rect, 0, 4)
+	return append(out, r.Clone())
+}
+`)
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the zero-allocation read path: functions marked with a
+// "//seglint:hotpath" line in their doc comment must not use allocating
+// constructs. The pass flags
+//
+//   - Clone() method calls (deep-copy allocations);
+//   - make with a map, slice, or channel type, and map/slice composite
+//     literals;
+//   - append whose destination is a variable declared inside the marked
+//     function — a fresh local slice growing in the hot loop. Appends to
+//     fields of a reused query context (selector expressions like
+//     qc.stack) are the sanctioned pattern and stay allowed: their backing
+//     arrays amortize to zero allocations across queries.
+//
+// Escape analysis is out of reach for a syntax-level pass, so hotalloc is
+// deliberately a conservative style gate: a flagged construct is not
+// guaranteed to allocate per call, but the hot path has cheap idioms for
+// every flagged shape. Deliberate exceptions (one-time growth paths,
+// error formatting on cold branches) opt out per line with a
+// seglint:allow directive carrying a rationale.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "forbid allocating constructs in functions marked //seglint:hotpath",
+	Run:       runHotAlloc,
+	AppliesTo: libraryPackage,
+}
+
+// hotpathMarked reports whether the function's doc comment carries a
+// seglint:hotpath line. CommentGroup.Text() strips directive-style lines,
+// so scan the raw comments.
+func hotpathMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, "seglint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotpathMarked(fd) {
+				continue
+			}
+			p.checkHotFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) checkHotFunc(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotCall(fd, e)
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(e); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					p.Reportf(e.Pos(), "map literal allocates in hotpath function %s; reuse a query-context map", fd.Name.Name)
+				case *types.Slice:
+					p.Reportf(e.Pos(), "slice literal allocates in hotpath function %s; reuse a query-context buffer", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkHotCall(fd *ast.FuncDecl, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Clone" {
+			p.Reportf(call.Pos(), "Clone call allocates in hotpath function %s; work on the decoded view or copy into a reused buffer", fd.Name.Name)
+		}
+	case *ast.Ident:
+		obj, ok := p.Info.Uses[fun].(*types.Builtin)
+		if !ok {
+			return
+		}
+		switch obj.Name() {
+		case "make":
+			p.Reportf(call.Pos(), "make allocates in hotpath function %s; hoist the allocation into the query context", fd.Name.Name)
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			dst, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return // selector-expression destinations (qc.buf) are the reuse pattern
+			}
+			v, ok := p.Info.Uses[dst].(*types.Var)
+			if !ok {
+				return
+			}
+			if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() {
+				p.Reportf(call.Pos(), "append to function-local slice %s in hotpath function %s; grow a query-context buffer instead", dst.Name, fd.Name.Name)
+			}
+		}
+	}
+}

@@ -22,7 +22,6 @@
 package buffer
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"runtime"
@@ -68,7 +67,13 @@ type frame struct {
 	bytes int // on-page size of the node
 	pins  int
 	dirty bool
-	elem  *list.Element // position in lru; nil while pinned
+	// Intrusive LRU links. Frames double as their own list elements so
+	// unpinning never allocates (a container/list push costs an Element
+	// plus boxing the page ID — one or two heap objects per node visit
+	// on the read path). inLRU distinguishes an unlinked frame from one
+	// linked at either end of the list.
+	lruPrev, lruNext *frame
+	inLRU            bool
 }
 
 // shard is one lock stripe: an independent LRU pool over the pages that
@@ -77,12 +82,46 @@ type shard struct {
 	mu       sync.Mutex
 	budget   int // max resident bytes in this shard; 0 means unlimited
 	resident map[page.ID]*frame
-	lru      *list.List // unpinned frames, front = most recently used
-	bytes    int        // total resident bytes in this shard
-	stats    Stats
+	// Intrusive list of unpinned frames; lruHead = most recently used,
+	// lruTail = eviction candidate.
+	lruHead, lruTail *frame
+	bytes            int // total resident bytes in this shard
+	stats            Stats
 
 	// pad keeps neighboring shards' mutexes off one cache line.
 	_ [64]byte
+}
+
+// lruPushFront links an unpinned frame at the MRU end. The caller must
+// hold s.mu and the frame must not already be linked.
+func (s *shard) lruPushFront(f *frame) {
+	f.lruPrev = nil
+	f.lruNext = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.lruPrev = f
+	}
+	s.lruHead = f
+	if s.lruTail == nil {
+		s.lruTail = f
+	}
+	f.inLRU = true
+}
+
+// lruRemove unlinks a frame from the shard's LRU. The caller must hold
+// s.mu and the frame must be linked.
+func (s *shard) lruRemove(f *frame) {
+	if f.lruPrev != nil {
+		f.lruPrev.lruNext = f.lruNext
+	} else {
+		s.lruHead = f.lruNext
+	}
+	if f.lruNext != nil {
+		f.lruNext.lruPrev = f.lruPrev
+	} else {
+		s.lruTail = f.lruPrev
+	}
+	f.lruPrev, f.lruNext = nil, nil
+	f.inLRU = false
 }
 
 // Pool is a pinning, lock-striped LRU buffer pool. The zero value is not
@@ -145,7 +184,6 @@ func NewSharded(st store.Store, codec node.Codec, budgetBytes, shards int) *Pool
 	for i := range p.shards {
 		p.shards[i].budget = perShard
 		p.shards[i].resident = make(map[page.ID]*frame)
-		p.shards[i].lru = list.New()
 	}
 	return p
 }
@@ -214,6 +252,39 @@ func (p *Pool) Unpin(id page.ID, dirty bool) error {
 	s := p.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return p.unpinLocked(s, id, dirty)
+}
+
+// UnpinBatch releases one clean pin on each id, grouping consecutive ids
+// that hash to the same shard under a single lock acquisition. The read
+// path pins each visited page once per query and returns them all here at
+// query end, instead of paying a lock round trip per node visit. On error
+// the remaining ids stay pinned (callers treat any failure as fatal, the
+// same way Tree.done does).
+func (p *Pool) UnpinBatch(ids []page.ID) error {
+	var cur *shard
+	for _, id := range ids {
+		if s := p.shardFor(id); s != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			s.mu.Lock()
+			cur = s
+		}
+		if err := p.unpinLocked(cur, id, false); err != nil {
+			cur.mu.Unlock()
+			return err
+		}
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	return nil
+}
+
+// unpinLocked releases one pin on a resident frame, pushing it onto the
+// shard's LRU when the pin count reaches zero. The caller must hold s.mu.
+func (p *Pool) unpinLocked(s *shard, id page.ID, dirty bool) error {
 	f, ok := s.resident[id]
 	if !ok {
 		return fmt.Errorf("buffer: unpin of non-resident %v", id)
@@ -226,7 +297,7 @@ func (p *Pool) Unpin(id page.ID, dirty bool) error {
 		f.dirty = true
 	}
 	if f.pins == 0 {
-		f.elem = s.lru.PushFront(f.n.ID)
+		s.lruPushFront(f)
 		p.evictLocked(s)
 	}
 	return nil
@@ -235,9 +306,8 @@ func (p *Pool) Unpin(id page.ID, dirty bool) error {
 // pinLocked pins a frame, removing it from the shard's LRU if it was
 // unpinned. The caller must hold the shard lock.
 func (s *shard) pinLocked(f *frame) {
-	if f.pins == 0 && f.elem != nil {
-		s.lru.Remove(f.elem)
-		f.elem = nil
+	if f.pins == 0 && f.inLRU {
+		s.lruRemove(f)
 	}
 	f.pins++
 }
@@ -250,22 +320,21 @@ func (p *Pool) evictLocked(s *shard) {
 		return
 	}
 	for s.bytes > s.budget {
-		back := s.lru.Back()
-		if back == nil {
+		f := s.lruTail
+		if f == nil {
 			return // everything pinned; cannot evict further
 		}
-		id := back.Value.(page.ID)
-		f := s.resident[id]
 		if f.dirty {
 			if err := p.writeBackLocked(s, f); err != nil {
 				// Keep the frame; skip eviction this round to avoid
 				// data loss. Promote it so we do not spin on it.
-				s.lru.MoveToFront(back)
+				s.lruRemove(f)
+				s.lruPushFront(f)
 				return
 			}
 		}
-		s.lru.Remove(back)
-		delete(s.resident, id)
+		s.lruRemove(f)
+		delete(s.resident, f.n.ID)
 		s.bytes -= f.bytes
 		s.stats.Evictions++
 	}
@@ -321,8 +390,8 @@ func (p *Pool) Invalidate() int {
 				pinned++
 				continue
 			}
-			if f.elem != nil {
-				s.lru.Remove(f.elem)
+			if f.inLRU {
+				s.lruRemove(f)
 			}
 			delete(s.resident, id)
 			s.bytes -= f.bytes
@@ -342,8 +411,8 @@ func (p *Pool) Free(id page.ID) error {
 			s.mu.Unlock()
 			return ErrPinned
 		}
-		if f.elem != nil {
-			s.lru.Remove(f.elem)
+		if f.inLRU {
+			s.lruRemove(f)
 		}
 		delete(s.resident, id)
 		s.bytes -= f.bytes

@@ -117,6 +117,11 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 	t.height = rootNode.Level + 1
 	t.done(t.root, false)
 	t.size = len(records)
+	for i := range records {
+		if t.ids.add(records[i].ID) {
+			t.cutPortions++
+		}
+	}
 	if err := t.pool.Free(oldRoot); err != nil {
 		return nil, err
 	}

@@ -91,13 +91,25 @@ func (t *Tree) DeleteWhere(query geom.Rect, pred func(Entry) bool) (int, error) 
 func (t *Tree) deleteMatching(hint geom.Rect, match func(node.Record) bool) (int, error) {
 	o := t.newOp(&t.stats.InsertNodeAccesses)
 	var orphans []orphan
-	removed := make(map[node.RecordID]bool)
+	removed := make(map[node.RecordID]int)
 	_, _, err := t.deleteRec(t.root, hint, match, o, removed, &orphans)
 	if err != nil {
 		return 0, err
 	}
 	if len(removed) == 0 {
 		return 0, nil
+	}
+
+	// Removing every portion of a record retires its excess portions:
+	// subtract (portions removed - 1) per ID from the gauge that lets
+	// the read path skip duplicate elimination, and release the ID for
+	// exact reuse detection.
+	for id, portions := range removed {
+		t.cutPortions -= portions - 1
+		t.ids.remove(id)
+	}
+	if t.cutPortions < 0 {
+		t.cutPortions = 0
 	}
 
 	// A root that lost every branch is replaced by an empty leaf before
@@ -136,7 +148,7 @@ func (t *Tree) deleteMatching(hint geom.Rect, match func(node.Record) bool) (int
 // node's new cover rectangle and whether the node became underfull and was
 // dismantled (its surviving entries moved to orphans and its page freed by
 // the caller's bookkeeping here).
-func (t *Tree) deleteRec(nid page.ID, hint geom.Rect, match func(node.Record) bool, o *op, removed map[node.RecordID]bool, orphans *[]orphan) (geom.Rect, bool, error) {
+func (t *Tree) deleteRec(nid page.ID, hint geom.Rect, match func(node.Record) bool, o *op, removed map[node.RecordID]int, orphans *[]orphan) (geom.Rect, bool, error) {
 	n, err := t.fetch(nid, o.accesses)
 	if err != nil {
 		return geom.Rect{}, false, err
@@ -148,7 +160,7 @@ func (t *Tree) deleteRec(nid page.ID, hint geom.Rect, match func(node.Record) bo
 	// index records).
 	for i := len(n.Records) - 1; i >= 0; i-- {
 		if n.Records[i].Rect.Intersects(hint) && match(n.Records[i]) {
-			removed[n.Records[i].ID] = true
+			removed[n.Records[i].ID]++
 			n.RemoveRecord(i)
 			dirty = true
 		}

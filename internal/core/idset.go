@@ -1,0 +1,80 @@
+package core
+
+import "segidx/internal/node"
+
+// idSet tracks which record IDs are present in the tree so Insert can
+// detect ID reuse in O(1). Reused IDs feed the same excess-portion gauge
+// as cutting does: Search documents that duplicate IDs are deduplicated,
+// so the read path may skip duplicate elimination only while the gauge
+// proves no ID has more than one stored portion.
+//
+// Small IDs live in a bitmap (at most 128 KiB); larger IDs go to an
+// overflow map bounded by idSetOverflowCap. Past the bound the set
+// degrades to "full": every membership probe answers true, which turns
+// duplicate elimination permanently on — an over-approximation, never an
+// unsound one. Open marks reopened trees full for the same reason: the
+// stored image does not carry the ID set.
+type idSet struct {
+	bits []uint64
+	over map[node.RecordID]struct{}
+	full bool
+}
+
+const (
+	idSetBitmapIDs   = 1 << 20 // IDs below this use the bitmap
+	idSetOverflowCap = 1 << 16 // larger-ID population before degrading
+)
+
+// add inserts id and reports whether it was already present (or may have
+// been, once the set has degraded to full).
+func (s *idSet) add(id node.RecordID) bool {
+	if s.full {
+		return true
+	}
+	if uint64(id) < idSetBitmapIDs {
+		w, mask := uint64(id)/64, uint64(1)<<(uint64(id)%64)
+		if int(w) >= len(s.bits) {
+			grown := make([]uint64, w+1, 2*(w+1))
+			copy(grown, s.bits)
+			s.bits = grown
+		}
+		if s.bits[w]&mask != 0 {
+			return true
+		}
+		s.bits[w] |= mask
+		return false
+	}
+	if _, ok := s.over[id]; ok {
+		return true
+	}
+	if len(s.over) >= idSetOverflowCap {
+		s.markFull()
+		return true
+	}
+	if s.over == nil {
+		s.over = make(map[node.RecordID]struct{})
+	}
+	s.over[id] = struct{}{}
+	return false
+}
+
+// remove deletes id from the set. A full set retains every ID.
+func (s *idSet) remove(id node.RecordID) {
+	if s.full {
+		return
+	}
+	if uint64(id) < idSetBitmapIDs {
+		if w := uint64(id) / 64; int(w) < len(s.bits) {
+			s.bits[w] &^= uint64(1) << (uint64(id) % 64)
+		}
+		return
+	}
+	delete(s.over, id)
+}
+
+// markFull abandons exact tracking: every future probe answers true.
+func (s *idSet) markFull() {
+	s.full = true
+	s.bits = nil
+	s.over = nil
+}

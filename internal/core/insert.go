@@ -63,6 +63,11 @@ func (t *Tree) Insert(rect geom.Rect, id node.RecordID) error {
 	}
 	t.size++
 	t.stats.Inserts++
+	if t.ids.add(id) {
+		// Reused ID: its portions now collide in search results, so the
+		// excess-portion gauge must keep duplicate elimination on.
+		t.cutPortions++
+	}
 	if t.cfg.CoalesceEvery > 0 {
 		t.sinceCoalesce++
 		if t.sinceCoalesce >= t.cfg.CoalesceEvery {
@@ -183,6 +188,7 @@ func (o *op) insert(rect geom.Rect, id node.RecordID, attempts int) error {
 					if len(remnants) > 0 {
 						t.stats.Cuts++
 						t.stats.Remnants += uint64(len(remnants))
+						t.cutPortions += len(remnants)
 					}
 					if err := o.ascend(path, cur); err != nil {
 						return err

@@ -61,12 +61,29 @@ func (e *InvariantError) Unwrap() error { return e.Err }
 //     contained in the node's own cover;
 //   - skeleton sibling regions do not overlap in their interiors;
 //   - no page is reachable twice (the structure is a tree);
-//   - the recorded height matches the root level.
+//   - the recorded height matches the root level;
+//   - stored portions in excess of distinct record IDs never exceed the
+//     cut-portion gauge (when the gauge is zero the read path skips
+//     duplicate elimination, so an under-count would surface duplicates).
 func (t *Tree) CheckInvariants() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	seen := make(map[page.ID]bool)
-	return t.checkNode(t.root, nil, seen, true, nil)
+	if err := t.checkNode(t.root, nil, seen, true, nil); err != nil {
+		return err
+	}
+	portions, distinct, err := t.recordCountLocked()
+	if err != nil {
+		return err
+	}
+	if excess := portions - distinct; excess > t.cutPortions {
+		return &InvariantError{
+			Path: []PathStep{{ID: t.root, Level: t.height - 1}},
+			Err: fmt.Errorf("%d stored portions over %d distinct records exceed the cut-portion gauge %d",
+				portions, distinct, t.cutPortions),
+		}
+	}
+	return nil
 }
 
 // checkNode validates the subtree rooted at id. path holds the PathSteps of
@@ -208,6 +225,12 @@ func (t *Tree) checkNode(id page.ID, parentRect *geom.Rect, seen map[page.ID]boo
 func (t *Tree) RecordCount() (portions int, distinct int, err error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.recordCountLocked()
+}
+
+// recordCountLocked counts stored portions and distinct record IDs. The
+// caller must hold t.mu.
+func (t *Tree) recordCountLocked() (portions int, distinct int, err error) {
 	ids := make(map[uint64]bool)
 	var walk func(id page.ID) error
 	walk = func(id page.ID) error {

@@ -25,6 +25,9 @@ import (
 //	32 u32 leaf page bytes
 //	36 u16 growth factor
 //	38 u8  spanning flag
+//	39 u8  cut-portion gauge present (images written before the gauge
+//	       existed have 0 here; see Open for the conservative fallback)
+//	40 u64 cut-portion gauge (stored portions in excess of records)
 const (
 	metaMagic     = 0x53475452
 	metaVersion   = 1
@@ -53,6 +56,8 @@ func (t *Tree) writeMeta() error {
 	if t.cfg.Spanning {
 		buf[38] = 1
 	}
+	buf[39] = 1
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(t.cutPortions))
 	return t.store.Write(metaPageID, buf)
 }
 
@@ -126,6 +131,17 @@ func Open(cfg Config, st store.Store) (*Tree, error) {
 		height:    int(binary.LittleEndian.Uint32(buf[16:20])),
 		size:      int(binary.LittleEndian.Uint64(buf[24:32])),
 	}
+	if buf[39] == 1 {
+		t.cutPortions = int(binary.LittleEndian.Uint64(buf[40:48]))
+	} else if cfg.Spanning {
+		// Image predates the gauge: the true excess is unknown, so pin
+		// it high enough that deletes can never drive it to zero and
+		// duplicate elimination stays on for the tree's lifetime.
+		t.cutPortions = int(^uint(0) >> 2)
+	}
+	// The image does not carry the ID set; treat every future insert as a
+	// potential ID reuse.
+	t.ids.markFull()
 	t.pool = buffer.NewSharded(st, t.codec, cfg.PoolBytes, cfg.PoolShards)
 	if t.root == page.Nil || t.height < 1 {
 		return nil, errors.New("core: corrupt tree metadata")

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"segidx/internal/node"
+	"segidx/internal/page"
+)
+
+// queryCtx is the per-query scratch state of the read path: the traversal
+// stack, the pin cache, the dedup set, and the result arena. Contexts are
+// recycled through Tree.qctxPool so a steady-state query performs no heap
+// allocation: every buffer is truncated (not freed) on release and the
+// maps retain their buckets across the clear idiom. Batch workers draw
+// from the same pool, so N concurrent workers settle on N contexts.
+//
+// A context is single-query state: it is acquired after t.mu is taken and
+// released (returning its pins) before t.mu is dropped.
+type queryCtx struct {
+	// stack is the DFS work list of pages still to visit.
+	stack []page.ID
+
+	// pinned caches the node pointer for every page this query fetched,
+	// each pinned exactly once; revisits are served from the cache with
+	// no pool interaction. pinIDs remembers the insertion order so
+	// release can return all pins in one buffer.UnpinBatch call — one
+	// shard-lock acquisition per run of same-shard pages rather than one
+	// unpin round trip per node visit. Holding pins for the whole query
+	// also keeps every visited node's rect storage alive, which is what
+	// lets Search collect view entries and defer copying until the
+	// final materialization.
+	pinned map[page.ID]*node.Node
+	pinIDs []page.ID
+
+	// Dedup set keyed by RecordID: a bitmap for small IDs with a map
+	// spilling the rest. touched lists the dirty bitmap words so reset
+	// costs O(results), not O(bitmap).
+	bits    []uint64
+	touched []uint32
+	over    map[node.RecordID]struct{}
+
+	// Result arena: deduplicated view entries collected during the
+	// traversal, plus the float backing used by accumulation passes
+	// (SearchContaining unions portions here in place).
+	entries  []Entry
+	coverOff map[node.RecordID]int
+	coverIDs []node.RecordID
+	coverBuf []float64
+}
+
+// dedupBitmapWords caps the bitmap at 1<<20 record IDs (128 KiB); IDs at
+// or above the cap go to the overflow map.
+const dedupBitmapWords = 1 << 14
+
+func newQueryCtx() *queryCtx {
+	return &queryCtx{
+		pinned:   make(map[page.ID]*node.Node),
+		over:     make(map[node.RecordID]struct{}),
+		coverOff: make(map[node.RecordID]int),
+	}
+}
+
+// getQctx returns a recycled (or fresh) query context. The caller must
+// hold t.mu and must hand the context back through releaseQctx before
+// releasing the lock.
+func (t *Tree) getQctx() *queryCtx {
+	if v := t.qctxPool.Get(); v != nil {
+		return v.(*queryCtx)
+	}
+	return newQueryCtx()
+}
+
+// releaseQctx returns every pin the query acquired in one batch, resets
+// the context, and recycles it. The caller must still hold t.mu: pins
+// must never outlive the lock (writers Free pages under the write lock
+// and a stale pin would make that fail).
+//
+//seglint:allow nodepanic — an unpin failure here is a pin-discipline bug, exactly as in Tree.done
+func (t *Tree) releaseQctx(qc *queryCtx) {
+	if err := t.pool.UnpinBatch(qc.pinIDs); err != nil {
+		panic(err)
+	}
+	for id := range qc.pinned {
+		delete(qc.pinned, id)
+	}
+	qc.pinIDs = qc.pinIDs[:0]
+	qc.stack = qc.stack[:0]
+	qc.resetDedup()
+	qc.entries = qc.entries[:0]
+	qc.resetCovers()
+	t.qctxPool.Put(qc)
+}
+
+// fetchCached pins and returns a node, charging one logical node access
+// to the given counter. The first visit of a page in this query goes to
+// the buffer pool; revisits hit the context's pin cache without touching
+// the pool's shard locks. The caller must hold t.mu.
+//
+//seglint:hotpath
+func (t *Tree) fetchCached(qc *queryCtx, id page.ID, accesses *uint64) (*node.Node, error) {
+	if accesses != nil {
+		atomic.AddUint64(accesses, 1)
+	}
+	if n, ok := qc.pinned[id]; ok {
+		return n, nil
+	}
+	n, err := t.fetch(id, nil)
+	if err != nil {
+		return nil, err
+	}
+	qc.pinned[id] = n
+	qc.pinIDs = append(qc.pinIDs, id)
+	return n, nil
+}
+
+// markSeen records id in the dedup set and reports whether it was already
+// present.
+//
+//seglint:hotpath
+func (qc *queryCtx) markSeen(id node.RecordID) bool {
+	if w := uint64(id) / 64; w < dedupBitmapWords {
+		if int(w) >= len(qc.bits) {
+			if int(w) < cap(qc.bits) {
+				// The capacity region is all zeros: make zeroes it and
+				// resetDedup restores every touched word.
+				qc.bits = qc.bits[:w+1]
+			} else {
+				//seglint:allow hotalloc — doubling growth amortizes to zero across recycled contexts
+				grown := make([]uint64, w+1, 2*(w+1))
+				copy(grown, qc.bits)
+				qc.bits = grown
+			}
+		}
+		mask := uint64(1) << (uint64(id) % 64)
+		if qc.bits[w]&mask != 0 {
+			return true
+		}
+		if qc.bits[w] == 0 {
+			qc.touched = append(qc.touched, uint32(w))
+		}
+		qc.bits[w] |= mask
+		return false
+	}
+	if _, ok := qc.over[id]; ok {
+		return true
+	}
+	qc.over[id] = struct{}{}
+	return false
+}
+
+// resetDedup clears the dedup set in O(marked IDs).
+func (qc *queryCtx) resetDedup() {
+	for _, w := range qc.touched {
+		qc.bits[w] = 0
+	}
+	qc.touched = qc.touched[:0]
+	for id := range qc.over {
+		delete(qc.over, id)
+	}
+}
+
+// resetCovers clears the SearchContaining accumulation state.
+func (qc *queryCtx) resetCovers() {
+	for id := range qc.coverOff {
+		delete(qc.coverOff, id)
+	}
+	qc.coverIDs = qc.coverIDs[:0]
+	qc.coverBuf = qc.coverBuf[:0]
+}

@@ -5,7 +5,6 @@ import (
 
 	"segidx/internal/geom"
 	"segidx/internal/node"
-	"segidx/internal/page"
 )
 
 // Entry is one search result: a stored rectangle (possibly a cut portion of
@@ -22,42 +21,42 @@ type Entry struct {
 // portions are reported once per intersecting portion; use Search for
 // deduplicated logical results.
 //
-// fn returning false stops the search early. The visit order is
-// unspecified.
+// The Entry passed to fn is a view: its rectangle aliases index-owned node
+// memory and is valid only for the duration of the callback. A callback
+// that retains the rectangle past its return must Clone it. fn returning
+// false stops the search early. The visit order is unspecified.
+//
+//seglint:hotpath
 func (t *Tree) SearchFunc(query geom.Rect, fn func(Entry) bool) error {
 	if err := t.validateRect(query); err != nil {
 		return err
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	qc := t.getQctx()
+	defer t.releaseQctx(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	stack := []page.ID{t.root}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n, err := t.fetch(id, &t.stats.SearchNodeAccesses)
+	qc.stack = append(qc.stack, t.root)
+	for len(qc.stack) > 0 {
+		id := qc.stack[len(qc.stack)-1]
+		qc.stack = qc.stack[:len(qc.stack)-1]
+		n, err := t.fetchCached(qc, id, &t.stats.SearchNodeAccesses)
 		if err != nil {
 			return err
 		}
-		stop := false
 		for i := range n.Records {
 			if n.Records[i].Rect.Intersects(query) {
-				if !fn(Entry{Rect: n.Records[i].Rect.Clone(), ID: n.Records[i].ID}) {
-					stop = true
-					break
+				if !fn(Entry{Rect: n.Records[i].Rect, ID: n.Records[i].ID}) {
+					return nil
 				}
 			}
 		}
-		if !stop && !n.IsLeaf() {
+		if !n.IsLeaf() {
 			for i := range n.Branches {
 				if n.Branches[i].Rect.Intersects(query) {
-					stack = append(stack, n.Branches[i].Child)
+					qc.stack = append(qc.stack, n.Branches[i].Child)
 				}
 			}
-		}
-		t.done(id, false)
-		if stop {
-			return nil
 		}
 	}
 	return nil
@@ -65,59 +64,152 @@ func (t *Tree) SearchFunc(query geom.Rect, fn func(Entry) bool) error {
 
 // Search returns the logical records intersecting query, deduplicated by
 // record ID (a record cut into spanning and remnant portions is reported
-// once, with the portion rectangle that was found first).
+// once, with the portion rectangle that was found first). The result is
+// owned by the caller: all rectangles are copied into one backing array
+// shared by the returned slice, so a non-empty result costs exactly two
+// allocations.
+//
+//seglint:hotpath
 func (t *Tree) Search(query geom.Rect) ([]Entry, error) {
-	var out []Entry
-	seen := make(map[node.RecordID]bool)
-	err := t.SearchFunc(query, func(e Entry) bool {
-		if !seen[e.ID] {
-			seen[e.ID] = true
-			out = append(out, e)
-		}
-		return true
-	})
-	if err != nil {
+	if err := t.validateRect(query); err != nil {
 		return nil, err
 	}
-	return out, nil
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	qc := t.getQctx()
+	defer t.releaseQctx(qc)
+	atomic.AddUint64(&t.stats.Searches, 1)
+	if err := t.collectDedup(qc, query); err != nil {
+		return nil, err
+	}
+	return materialize(qc.entries, t.cfg.Dims), nil
+}
+
+// collectDedup runs the traversal for Search, appending one view entry per
+// logical record intersecting query to qc.entries. Views stay valid until
+// the context is released because every visited node remains pinned. When
+// the tree holds no cut portions no record can appear twice, so the dedup
+// set is skipped entirely. The caller must hold t.mu.
+//
+//seglint:hotpath
+func (t *Tree) collectDedup(qc *queryCtx, query geom.Rect) error {
+	dedup := t.cutPortions > 0
+	qc.stack = append(qc.stack, t.root)
+	for len(qc.stack) > 0 {
+		id := qc.stack[len(qc.stack)-1]
+		qc.stack = qc.stack[:len(qc.stack)-1]
+		n, err := t.fetchCached(qc, id, &t.stats.SearchNodeAccesses)
+		if err != nil {
+			return err
+		}
+		for i := range n.Records {
+			if n.Records[i].Rect.Intersects(query) {
+				if dedup && qc.markSeen(n.Records[i].ID) {
+					continue
+				}
+				qc.entries = append(qc.entries, Entry{Rect: n.Records[i].Rect, ID: n.Records[i].ID})
+			}
+		}
+		if !n.IsLeaf() {
+			for i := range n.Branches {
+				if n.Branches[i].Rect.Intersects(query) {
+					qc.stack = append(qc.stack, n.Branches[i].Child)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// materialize copies view entries into caller-owned storage: one Entry
+// slice backed by one flat float array.
+func materialize(views []Entry, dims int) []Entry {
+	if len(views) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(views))
+	floats := make([]float64, len(views)*2*dims)
+	off := 0
+	for i := range views {
+		out[i] = Entry{Rect: views[i].Rect.CopyInto(floats, off), ID: views[i].ID}
+		off += 2 * dims
+	}
+	return out
 }
 
 // Count returns the number of logical records intersecting query.
+//
+//seglint:hotpath
 func (t *Tree) Count(query geom.Rect) (int, error) {
-	seen := make(map[node.RecordID]bool)
-	err := t.SearchFunc(query, func(e Entry) bool {
-		seen[e.ID] = true
-		return true
-	})
-	return len(seen), err
+	if err := t.validateRect(query); err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	qc := t.getQctx()
+	defer t.releaseQctx(qc)
+	atomic.AddUint64(&t.stats.Searches, 1)
+	dedup := t.cutPortions > 0
+	count := 0
+	qc.stack = append(qc.stack, t.root)
+	for len(qc.stack) > 0 {
+		id := qc.stack[len(qc.stack)-1]
+		qc.stack = qc.stack[:len(qc.stack)-1]
+		n, err := t.fetchCached(qc, id, &t.stats.SearchNodeAccesses)
+		if err != nil {
+			return 0, err
+		}
+		for i := range n.Records {
+			if n.Records[i].Rect.Intersects(query) {
+				if dedup && qc.markSeen(n.Records[i].ID) {
+					continue
+				}
+				count++
+			}
+		}
+		if !n.IsLeaf() {
+			for i := range n.Branches {
+				if n.Branches[i].Rect.Intersects(query) {
+					qc.stack = append(qc.stack, n.Branches[i].Child)
+				}
+			}
+		}
+	}
+	return count, nil
 }
 
 // VisitPortions walks every stored record portion in the index, reporting
 // the level it is stored at (0 = leaf; higher levels are spanning index
-// records). fn returning false stops the walk. Intended for structural
-// inspection — e.g. the rule-lock manager uses it to report which rule
-// predicates have been escalated to non-leaf nodes.
+// records). The Entry rectangle passed to fn is a view into node memory,
+// valid only during the callback. fn returning false stops the walk.
+// Intended for structural inspection — e.g. the rule-lock manager uses it
+// to report which rule predicates have been escalated to non-leaf nodes.
+//
+// Unlike the query methods, the walk unpins each node before moving on:
+// a full-tree visit must not hold the whole tree pinned at once.
 func (t *Tree) VisitPortions(fn func(level int, e Entry) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	stack := []page.ID{t.root}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	qc := t.getQctx()
+	defer t.releaseQctx(qc)
+	qc.stack = append(qc.stack, t.root)
+	for len(qc.stack) > 0 {
+		id := qc.stack[len(qc.stack)-1]
+		qc.stack = qc.stack[:len(qc.stack)-1]
 		n, err := t.fetch(id, nil)
 		if err != nil {
 			return err
 		}
 		stop := false
 		for i := range n.Records {
-			if !fn(n.Level, Entry{Rect: n.Records[i].Rect.Clone(), ID: n.Records[i].ID}) {
+			if !fn(n.Level, Entry{Rect: n.Records[i].Rect, ID: n.Records[i].ID}) {
 				stop = true
 				break
 			}
 		}
 		if !stop {
 			for i := range n.Branches {
-				stack = append(stack, n.Branches[i].Child)
+				qc.stack = append(qc.stack, n.Branches[i].Child)
 			}
 		}
 		t.done(id, false)
@@ -148,7 +240,7 @@ func (t *Tree) SearchWithin(query geom.Rect) ([]Entry, error) {
 			contained[e.ID] = prev && inside
 		} else {
 			contained[e.ID] = inside
-			first[e.ID] = e.Rect
+			first[e.ID] = e.Rect.Clone()
 		}
 		return true
 	})
@@ -164,34 +256,108 @@ func (t *Tree) SearchWithin(query geom.Rect) ([]Entry, error) {
 	return out, nil
 }
 
-// SearchContaining returns the records that entirely contain query — the
-// generalized stabbing query ("all intervals that contain a given point or
-// region", Section 2.1.1). Cut records are reassembled from their portions
-// before the containment test.
-func (t *Tree) SearchContaining(query geom.Rect) ([]Entry, error) {
-	// Union up the portions of each candidate, then test containment of
-	// the query by the union. Portions not intersecting the query can
-	// still contribute extent, but any record containing the query has
-	// every point of the query covered, and the portions tile the
-	// original, so the union of *intersecting* portions already contains
-	// the query if and only if the record does.
-	covers := make(map[node.RecordID]geom.Rect)
-	err := t.SearchFunc(query, func(e Entry) bool {
-		if c, ok := covers[e.ID]; ok {
-			covers[e.ID] = c.Union(e.Rect)
-		} else {
-			covers[e.ID] = e.Rect.Clone()
+// SearchContainingFunc visits every logical record that entirely contains
+// query — the generalized stabbing query ("all intervals that contain a
+// given point or region", Section 2.1.1). Cut records are reassembled by
+// unioning their stored portions before the containment test, so each
+// qualifying record is reported exactly once, after the traversal
+// completes. The Entry rectangle passed to fn is the union of the
+// record's portions that intersect query; it is a view into query-scoped
+// memory, valid only during the callback. fn returning false stops the
+// reporting early.
+//
+// Unioning the intersecting portions is sufficient: any record containing
+// query has every point of query covered, and the portions tile the
+// original exactly, so the union of intersecting portions contains query
+// if and only if the record does.
+//
+//seglint:hotpath
+func (t *Tree) SearchContainingFunc(query geom.Rect, fn func(Entry) bool) error {
+	if err := t.validateRect(query); err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	qc := t.getQctx()
+	defer t.releaseQctx(qc)
+	atomic.AddUint64(&t.stats.Searches, 1)
+	k := t.cfg.Dims
+	qc.stack = append(qc.stack, t.root)
+	for len(qc.stack) > 0 {
+		id := qc.stack[len(qc.stack)-1]
+		qc.stack = qc.stack[:len(qc.stack)-1]
+		n, err := t.fetchCached(qc, id, &t.stats.SearchNodeAccesses)
+		if err != nil {
+			return err
 		}
+		for i := range n.Records {
+			r := n.Records[i].Rect
+			if !r.Intersects(query) {
+				continue
+			}
+			rid := n.Records[i].ID
+			if off, ok := qc.coverOff[rid]; ok {
+				// Union in place inside the accumulation buffer.
+				for d := 0; d < k; d++ {
+					if r.Min[d] < qc.coverBuf[off+d] {
+						qc.coverBuf[off+d] = r.Min[d]
+					}
+					if r.Max[d] > qc.coverBuf[off+k+d] {
+						qc.coverBuf[off+k+d] = r.Max[d]
+					}
+				}
+			} else {
+				qc.coverOff[rid] = len(qc.coverBuf)
+				qc.coverBuf = append(qc.coverBuf, r.Min...)
+				qc.coverBuf = append(qc.coverBuf, r.Max...)
+				qc.coverIDs = append(qc.coverIDs, rid)
+			}
+		}
+		if !n.IsLeaf() {
+			for i := range n.Branches {
+				if n.Branches[i].Rect.Intersects(query) {
+					qc.stack = append(qc.stack, n.Branches[i].Child)
+				}
+			}
+		}
+	}
+	// Views are built only after accumulation: appends above may move
+	// coverBuf, but the recorded offsets stay valid.
+	for _, rid := range qc.coverIDs {
+		off := qc.coverOff[rid]
+		c := geom.Rect{Min: qc.coverBuf[off : off+k : off+k], Max: qc.coverBuf[off+k : off+2*k : off+2*k]}
+		if c.Contains(query) {
+			if !fn(Entry{Rect: c, ID: rid}) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// SearchContaining returns the records that entirely contain query, one
+// Entry per record with the union of its stored portions as the
+// rectangle. The result is owned by the caller.
+func (t *Tree) SearchContaining(query geom.Rect) ([]Entry, error) {
+	k := t.cfg.Dims
+	var (
+		out    []Entry
+		floats []float64
+	)
+	err := t.SearchContainingFunc(query, func(e Entry) bool {
+		floats = append(floats, e.Rect.Min...)
+		floats = append(floats, e.Rect.Max...)
+		out = append(out, Entry{ID: e.ID})
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	var out []Entry
-	for id, c := range covers {
-		if c.Contains(query) {
-			out = append(out, Entry{Rect: c, ID: id})
-		}
+	// Rect views are installed only now: the appends above may have moved
+	// the backing array.
+	for i := range out {
+		off := i * 2 * k
+		out[i].Rect = geom.Rect{Min: floats[off : off+k : off+k], Max: floats[off+k : off+2*k : off+2*k]}
 	}
 	return out, nil
 }

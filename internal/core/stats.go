@@ -27,6 +27,12 @@ type Stats struct {
 
 	Coalesces uint64 // sibling leaf merges performed
 	Reinserts uint64 // records reinserted (demotion, condensation, merges)
+
+	// CutPortions is a gauge (not a counter): the number of stored record
+	// portions currently in excess of logical records. Zero means no
+	// record has more than one stored portion, which lets Search and
+	// Count skip duplicate elimination.
+	CutPortions uint64
 }
 
 // Stats returns a snapshot of the tree's counters. Counters written only
@@ -51,5 +57,6 @@ func (t *Tree) Stats() Stats {
 		Relinks:            t.stats.Relinks,
 		Coalesces:          t.stats.Coalesces,
 		Reinserts:          t.stats.Reinserts,
+		CutPortions:        uint64(t.cutPortions),
 	}
 }

@@ -43,6 +43,23 @@ type Tree struct {
 	height int // number of levels; root level == height-1
 	size   int // logical records (cut portions counted once)
 
+	// cutPortions counts stored record portions in excess of distinct
+	// record IDs: each cut adds len(remnants), each insert reusing a
+	// live ID adds one, and each full-record deletion subtracts
+	// (portions removed - 1). When zero, no ID has more than one stored
+	// portion and the read path skips duplicate elimination entirely —
+	// a pure win for the R-Tree baseline, which never cuts. The gauge
+	// may over-estimate (reopened or degraded trees) but never
+	// under-estimates; CheckInvariants verifies the bound.
+	cutPortions int
+
+	// ids tracks the record IDs present so Insert detects ID reuse.
+	ids idSet
+
+	// qctxPool recycles per-query read-path state (traversal stack, pin
+	// cache, dedup set, result arena); see queryCtx.
+	qctxPool sync.Pool
+
 	// modCounts tracks per-leaf modification frequency for the
 	// coalescing policy ("the L least frequently modified nodes").
 	modCounts     map[page.ID]uint64

@@ -104,6 +104,20 @@ func (r Rect) Clone() Rect {
 	}
 }
 
+// CopyInto copies r's corners into the 2K floats at dst[off:off+2K] and
+// returns a Rect viewing that storage. It is the arena-materialization
+// primitive of the query path: result rects are packed into one
+// caller-growable backing array instead of costing two heap slices each.
+// The capped views keep an append through the result from spilling into
+// the neighboring rect's storage.
+func (r Rect) CopyInto(dst []float64, off int) Rect {
+	k := len(r.Min)
+	out := Rect{Min: dst[off : off+k : off+k], Max: dst[off+k : off+2*k : off+2*k]}
+	copy(out.Min, r.Min)
+	copy(out.Max, r.Max)
+	return out
+}
+
 // Equal reports whether r and s have identical corners. Equality is exact
 // by design: the tree uses it to detect branch-rectangle changes, and a
 // tolerance here would let a cover drift past its parent rectangle while

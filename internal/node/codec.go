@@ -140,21 +140,29 @@ func (c Codec) Unmarshal(buf []byte, want page.ID) (*Node, error) {
 	}
 	flags := binary.LittleEndian.Uint16(buf[16:18])
 	off := fixedHeader
+	// One flat backing array holds every rectangle on the page — the
+	// region plus all branch and record rects — so decoding costs O(1)
+	// allocations rather than O(entries). The decoded rects are views
+	// into it; mutators replace whole Rect headers (they never write the
+	// decoded float storage), so the views stay stable for the node's
+	// lifetime. See DESIGN.md "Memory layout and rect lifetimes".
+	flat := make([]float64, (1+nb+nr)*2*c.Dims)
+	fo := 0
 	if flags&flagHasRegion != 0 {
 		var region geom.Rect
-		region, off = c.getRect(buf, off)
+		region, off, fo = c.getRectFlat(buf, off, flat, fo)
 		if !region.Valid() {
 			return nil, fmt.Errorf("node: page %v has corrupt region rect", want)
 		}
 		n.Region = region
 	} else {
-		n.Region = geom.EmptyRect(c.Dims)
+		n.Region, fo = emptyRectFlat(c.Dims, flat, fo)
 		off += c.RectBytes()
 	}
 	n.Branches = make([]Branch, nb)
 	for i := 0; i < nb; i++ {
 		var r geom.Rect
-		r, off = c.getRect(buf, off)
+		r, off, fo = c.getRectFlat(buf, off, flat, fo)
 		if !r.Valid() {
 			return nil, fmt.Errorf("node: page %v branch %d has corrupt rect", want, i)
 		}
@@ -164,7 +172,7 @@ func (c Codec) Unmarshal(buf []byte, want page.ID) (*Node, error) {
 	n.Records = make([]Record, nr)
 	for i := 0; i < nr; i++ {
 		var r geom.Rect
-		r, off = c.getRect(buf, off)
+		r, off, fo = c.getRectFlat(buf, off, flat, fo)
 		if !r.Valid() {
 			return nil, fmt.Errorf("node: page %v record %d has corrupt rect", want, i)
 		}
@@ -190,15 +198,31 @@ func (c Codec) putRect(buf []byte, off int, r geom.Rect) int {
 	return off
 }
 
-func (c Codec) getRect(buf []byte, off int) (geom.Rect, int) {
-	r := geom.Rect{Min: make([]float64, c.Dims), Max: make([]float64, c.Dims)}
-	for d := 0; d < c.Dims; d++ {
+// getRectFlat decodes one rectangle from buf at off into the 2*Dims floats
+// at flat[fo:], returning a Rect whose corners are views into flat. The
+// capped slice expressions keep an append on a view from spilling into the
+// neighboring rect's storage.
+func (c Codec) getRectFlat(buf []byte, off int, flat []float64, fo int) (geom.Rect, int, int) {
+	k := c.Dims
+	r := geom.Rect{Min: flat[fo : fo+k : fo+k], Max: flat[fo+k : fo+2*k : fo+2*k]}
+	for d := 0; d < k; d++ {
 		r.Min[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off : off+8]))
 		off += 8
 	}
-	for d := 0; d < c.Dims; d++ {
+	for d := 0; d < k; d++ {
 		r.Max[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off : off+8]))
 		off += 8
 	}
-	return r, off
+	return r, off, fo + 2*k
+}
+
+// emptyRectFlat writes the EmptyRect identity into flat[fo:] and returns a
+// view of it (see geom.EmptyRect).
+func emptyRectFlat(dims int, flat []float64, fo int) (geom.Rect, int) {
+	r := geom.Rect{Min: flat[fo : fo+dims : fo+dims], Max: flat[fo+dims : fo+2*dims : fo+2*dims]}
+	for d := 0; d < dims; d++ {
+		r.Min[d] = math.Inf(1)
+		r.Max[d] = math.Inf(-1)
+	}
+	return r, fo + 2*dims
 }

@@ -257,6 +257,35 @@ func (p *Predictor) SearchContaining(query geom.Rect) ([]core.Entry, error) {
 		return t.SearchContaining(query)
 	}
 	defer p.mu.RUnlock()
+	return p.containingBufferedLocked(query)
+}
+
+// SearchContainingFunc visits the records that entirely contain query.
+// Entry rectangles are views valid only during the callback (buffered
+// records are reported from in-memory copies with the same contract).
+func (p *Predictor) SearchContainingFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	p.mu.RLock()
+	if p.tree != nil {
+		t := p.tree
+		p.mu.RUnlock()
+		return t.SearchContainingFunc(query, fn)
+	}
+	entries, err := p.containingBufferedLocked(query)
+	p.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// containingBufferedLocked scans the sample buffer for records containing
+// query. The caller must hold p.mu.
+func (p *Predictor) containingBufferedLocked(query geom.Rect) ([]core.Entry, error) {
 	if !query.Valid() || query.Dims() != p.cfg.Dims {
 		return nil, core.ErrBadRect
 	}

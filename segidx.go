@@ -69,6 +69,7 @@ type engine interface {
 	SearchFunc(Rect, func(Entry) bool) error
 	SearchWithin(Rect) ([]Entry, error)
 	SearchContaining(Rect) ([]Entry, error)
+	SearchContainingFunc(Rect, func(Entry) bool) error
 	VisitPortions(func(level int, e Entry) bool) error
 	Count(Rect) (int, error)
 	Len() int
@@ -119,11 +120,19 @@ func (x *Index) DeleteWhere(query Rect, pred func(Entry) bool) (int, error) {
 	return x.eng.DeleteWhere(query, pred)
 }
 
-// Search returns the records intersecting query, deduplicated by ID.
+// Search returns the records intersecting query, deduplicated by ID. The
+// result is owned by the caller: rectangles are copied out of the index
+// into one shared backing array, so a non-empty result costs two
+// allocations regardless of size.
 func (x *Index) Search(query Rect) ([]Entry, error) { return x.eng.Search(query) }
 
 // SearchFunc streams every stored portion intersecting query; fn returning
 // false stops early. Cut records may be visited once per portion.
+//
+// The Entry passed to fn is a view: its rectangle aliases index-owned
+// memory and is valid only for the duration of the callback. Clone the
+// rectangle to retain it. In exchange, a query over resident pages
+// performs zero heap allocations.
 func (x *Index) SearchFunc(query Rect, fn func(Entry) bool) error {
 	return x.eng.SearchFunc(query, fn)
 }
@@ -133,16 +142,38 @@ func (x *Index) Count(query Rect) (int, error) { return x.eng.Count(query) }
 
 // VisitPortions walks every stored record portion with the tree level it
 // is stored at (0 = leaf; higher levels are spanning index records). For
-// structural inspection; fn returning false stops the walk.
+// structural inspection; fn returning false stops the walk. Entry
+// rectangles are views valid only during the callback.
 func (x *Index) VisitPortions(fn func(level int, e Entry) bool) error {
 	return x.eng.VisitPortions(fn)
 }
 
 // Stab returns the records containing the given point — the stabbing
 // query central to interval indexing ("all intervals that contain a given
-// point", Section 2.1.1).
+// point", Section 2.1.1). The result is owned by the caller; use StabFunc
+// for the allocation-free streaming form.
 func (x *Index) Stab(coords ...float64) ([]Entry, error) {
 	return x.SearchContaining(Point(coords...))
+}
+
+// StabFunc streams the records containing the given point. Each record is
+// reported exactly once with the union of its stored portions as the
+// rectangle — a view valid only during the callback; Clone it to retain
+// it. fn returning false stops early. Like SearchFunc, a stab over
+// resident pages performs zero heap allocations.
+func (x *Index) StabFunc(fn func(Entry) bool, coords ...float64) error {
+	// The point rectangle views the coords slice directly instead of
+	// copying it (Point validates and copies); validateRect inside the
+	// engine still rejects NaNs and dimension mismatches.
+	return x.eng.SearchContainingFunc(Rect{Min: coords, Max: coords}, fn)
+}
+
+// SearchContainingFunc streams the records that entirely contain query
+// (the generalized stabbing query), one callback per logical record with
+// the union of its stored portions as the rectangle — a view valid only
+// during the callback. fn returning false stops early.
+func (x *Index) SearchContainingFunc(query Rect, fn func(Entry) bool) error {
+	return x.eng.SearchContainingFunc(query, fn)
 }
 
 // SearchWithin returns the records entirely contained in query,
