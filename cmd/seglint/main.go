@@ -1,26 +1,38 @@
 // Command seglint runs the repository's custom static-analysis passes
-// (internal/analysis) over the module: lockcheck, floatcmp, errchecklite,
-// and nodepanic. It exits non-zero when any diagnostic survives the
-// //seglint:allow directives, making it suitable as a CI gate:
+// (internal/analysis) over the module: the syntactic checks (lockcheck,
+// floatcmp, errchecklite, nodepanic, hotalloc) and the flow-sensitive
+// proofs (unlockpath, pinbalance, walorder). It exits non-zero when any
+// diagnostic survives the //seglint:allow directives, making it suitable
+// as a CI gate:
 //
 //	go run ./cmd/seglint ./...
+//	go run ./cmd/seglint -json ./... > seglint.json
 //
 // Patterns follow the usual go tool forms: "./...", "./internal/...",
 // "./internal/geom", or fully qualified import paths.
+//
+// Packages are type-loaded serially (the loader caches dependencies and is
+// not safe for concurrent use) but analyzed in parallel, one worker per
+// CPU; diagnostics are reported in package order regardless of which
+// worker finishes first.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
 
 	"segidx/internal/analysis"
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: seglint [packages]\n\npasses:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: seglint [-json] [packages]\n\npasses:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -30,7 +42,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := run(patterns, os.Stdout)
+	n, err := run(patterns, *jsonOut, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seglint:", err)
 		os.Exit(2)
@@ -41,9 +53,25 @@ func main() {
 	}
 }
 
+// jsonDiag is the machine-readable form of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Count       int        `json:"count"`
+}
+
 // run loads every module package matching the patterns, applies the
-// analyzers, prints diagnostics to out, and returns the diagnostic count.
-func run(patterns []string, out io.Writer) (int, error) {
+// analyzers across a worker pool, prints diagnostics to out (plain lines
+// or one JSON document), and returns the diagnostic count.
+func run(patterns []string, jsonOut bool, out io.Writer) (int, error) {
 	root, modPath, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		return 0, err
@@ -53,8 +81,9 @@ func run(patterns []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	analyzers := analysis.Analyzers()
-	count := 0
+
+	// Load serially: the loader shares an importer cache across packages.
+	var pkgs []*analysis.Package
 	for _, pkgPath := range all {
 		matched := false
 		for _, pat := range patterns {
@@ -68,12 +97,59 @@ func run(patterns []string, out io.Writer) (int, error) {
 		}
 		pkg, err := loader.Load(pkgPath)
 		if err != nil {
-			return count, err
+			return 0, err
 		}
-		for _, d := range analysis.Run(pkg, analyzers) {
-			fmt.Fprintln(out, d)
-			count++
-		}
+		pkgs = append(pkgs, pkg)
 	}
-	return count, nil
+
+	// Analyze in parallel; results land in package order.
+	analyzers := analysis.Analyzers()
+	perPkg := make([][]analysis.Diagnostic, len(pkgs))
+	workers := runtime.NumCPU()
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i] = analysis.Run(pkgs[i], analyzers)
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var diags []analysis.Diagnostic
+	for _, ds := range perPkg {
+		diags = append(diags, ds...)
+	}
+	if jsonOut {
+		report := jsonReport{Diagnostics: make([]jsonDiag, 0, len(diags)), Count: len(diags)}
+		for _, d := range diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return len(diags), err
+		}
+		return len(diags), nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	return len(diags), nil
 }

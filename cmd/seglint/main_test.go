@@ -1,17 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 // TestRepoIsClean is the self-hosting gate: running every analyzer over the
 // whole module must produce zero diagnostics. A regression here means new
-// code re-introduced a lock-discipline, float-equality, dropped-error, or
-// library-panic violation without a //seglint:allow rationale.
+// code re-introduced a lock-discipline, float-equality, dropped-error,
+// library-panic, lock-leak, pin-leak, or WAL-ordering violation without a
+// //seglint:allow rationale.
 func TestRepoIsClean(t *testing.T) {
 	var out strings.Builder
-	n, err := run([]string{"./..."}, &out)
+	n, err := run([]string{"./..."}, false, &out)
 	if err != nil {
 		t.Fatalf("seglint failed to run: %v", err)
 	}
@@ -25,11 +27,29 @@ func TestRepoIsClean(t *testing.T) {
 // whole module.
 func TestPatternFiltering(t *testing.T) {
 	var out strings.Builder
-	n, err := run([]string{"./internal/geom"}, &out)
+	n, err := run([]string{"./internal/geom"}, false, &out)
 	if err != nil {
 		t.Fatalf("seglint failed to run: %v", err)
 	}
 	if n != 0 {
 		t.Errorf("seglint found %d issue(s) in internal/geom:\n%s", n, out.String())
+	}
+}
+
+// TestJSONOutput pins the -json document shape: a well-formed report with
+// a diagnostics array and a matching count, so CI can archive it.
+func TestJSONOutput(t *testing.T) {
+	var out strings.Builder
+	n, err := run([]string{"./internal/analysis"}, true, &out)
+	if err != nil {
+		t.Fatalf("seglint failed to run: %v", err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Count != n || len(report.Diagnostics) != n {
+		t.Errorf("count mismatch: run returned %d, report count %d, %d entries",
+			n, report.Count, len(report.Diagnostics))
 	}
 }

@@ -78,9 +78,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers lists every pass the driver runs, in reporting order.
+// Analyzers lists every pass the driver runs, in reporting order. The
+// first five are the flow-insensitive style passes from the original
+// seglint; unlockpath, pinbalance, and walorder are the flow-sensitive
+// proofs built on the CFG/dataflow layer (cfg.go, dataflow.go).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, FloatCmp, ErrCheckLite, NodePanic, HotAlloc}
+	return []*Analyzer{LockCheck, FloatCmp, ErrCheckLite, NodePanic, HotAlloc, UnlockPath, PinBalance, WALOrder}
 }
 
 // Run executes the given analyzers over a loaded package, drops findings

@@ -151,6 +151,29 @@ func (t *Tree) shardHelper() int { return t.size }
 func (t *Tree) ShardUser() int {
 	return t.shardHelper() // want lockcheck
 }
+
+var (
+	mu    sync.Mutex
+	count int
+)
+
+// bareHelper guards a package-level mutex. The caller must hold the lock.
+func bareHelper() int { return count }
+
+// bareBad re-acquires the bare identifier mutex. The caller must hold
+// the lock.
+func bareBad() int {
+	mu.Lock()         // want lockcheck
+	defer mu.Unlock() // want lockcheck
+	return count
+}
+
+// BareGood acquires the package-level mutex before the helper call.
+func BareGood() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return bareHelper()
+}
 `)
 }
 

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgOf builds the CFG of a function body given as source statements and
+// renders it block-by-block. Only parsing is needed: the graph is purely
+// syntactic.
+func cfgOf(t *testing.T, body string) string {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body).debugString(fset)
+}
+
+func checkCFG(t *testing.T, body, want string) {
+	t.Helper()
+	if got := cfgOf(t, body); got != want {
+		t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	// The goto block is empty (the jump is pure control transfer) and the
+	// skipped statement keeps its own block; both converge on the label.
+	checkCFG(t, `
+	x := 1
+	if x > 0 {
+		goto done
+	}
+	x = 2
+done:
+	x = 3
+`, `b0: [x := 1] [x > 0] -> b2(T) b1(F)
+b1: [x = 2] -> b3
+b2: -> b3
+b3: [x = 3] -> exit(end)
+`)
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	// A backward goto forms a loop: the label block is its own predecessor
+	// through the goto block.
+	checkCFG(t, `
+	x := 0
+	_ = x
+loop:
+	x++
+	if x < 10 {
+		goto loop
+	}
+`, `b0: [x := 0] [_ = x] -> b1
+b1: [x++] [x < 10] -> b3(T) b2(F)
+b2: -> exit(end)
+b3: -> b1
+`)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	// continue outer targets the outer post block (b5), break outer the
+	// outer join (b4); the inner loop's own join (b8) becomes unreachable
+	// because every inner-body path jumps out.
+	checkCFG(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if i == 1 {
+				continue outer
+			}
+			break outer
+		}
+	}
+`, `b0: -> b1
+b1: [i := 0] -> b2
+b2: [i < 3] -> b3(T) b4(F)
+b3: -> b6
+b4: -> exit(end)
+b5: [i++] -> b2
+b6: -> b7
+b7: [i == 1] -> b10(T) b9(F)
+b9: -> b4
+b10: -> b5
+`)
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	// defer stays an ordinary node in the loop body — its call runs at
+	// function exit, which the dataflow layer models as a scheduled fact,
+	// not as extra edges.
+	checkCFG(t, `
+	for i := 0; i < 3; i++ {
+		defer release(i)
+	}
+	return
+`, `b0: [i := 0] -> b1
+b1: [i < 3] -> b2(T) b3(F)
+b2: [defer release(i)] -> b4
+b3: [return] -> exit(ret)
+b4: [i++] -> b1
+`)
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	// Every comm clause (including default) is a head successor; the comm
+	// statement executes inside its clause body, and with a default present
+	// there is no head->join edge.
+	checkCFG(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		use(0)
+	}
+`, `b0: -> b2 b3
+b1: -> exit(end)
+b2: [v := <-ch] [use(v)] -> b1
+b3: [use(0)] -> b1
+`)
+}
+
+func TestCFGPanicBranch(t *testing.T) {
+	// panic exits through a dedicated edge kind so exit checks can skip it
+	// (deferred releases still run; explicit per-path cleanup does not).
+	checkCFG(t, `
+	if bad {
+		panic("bad")
+	}
+	ok()
+`, `b0: [bad] -> b2(T) b1(F)
+b1: [ok()] -> exit(end)
+b2: [panic("bad")] -> exit(panic)
+`)
+}
+
+func TestCFGPanicOnlyExit(t *testing.T) {
+	// A body that always panics has a single reachable block and no
+	// falloff edge.
+	checkCFG(t, `
+	panic("boom")
+`, `b0: [panic("boom")] -> exit(panic)
+`)
+}
+
+func TestCFGRangeHead(t *testing.T) {
+	// The range expression evaluates once in the predecessor block; the
+	// head block holds only the per-iteration assignment. The dataflow
+	// passes rely on this: a release inside the body must not be re-applied
+	// at the head (see inspectCFGNode).
+	checkCFG(t, `
+	for _, v := range xs {
+		use(v)
+	}
+`, `b0: [xs] -> b1
+b1: [range xs] -> b2 b3
+b2: [use(v)] -> b1
+b3: -> exit(end)
+`)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	// fallthrough jumps straight into the next case body; without a
+	// default clause the head keeps an edge to the join.
+	checkCFG(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	}
+`, `b0: [x] -> b2 b3 b1
+b1: -> exit(end)
+b2: [1] [a()] -> b3
+b3: [2] [b()] -> b1
+`)
+}

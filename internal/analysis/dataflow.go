@@ -1,0 +1,109 @@
+package analysis
+
+// A generic forward fixpoint solver over CFGs. Analyzers describe their
+// lattice through FlowProblem; the solver iterates transfer functions over
+// a worklist until block in-states stabilize. May- and must-analyses both
+// fit: the tri lattice below distinguishes "on every path" (triYes/triNo)
+// from "on some paths" (triMaybe), and Join merges path facts pointwise.
+
+import "go/ast"
+
+// tri is a three-point lattice value plus bottom: triBot means "no path
+// has said anything", triYes/triNo are must-facts, triMaybe is the top
+// ("differs between paths").
+type tri uint8
+
+const (
+	triBot tri = iota
+	triNo
+	triYes
+	triMaybe
+)
+
+func (a tri) join(b tri) tri {
+	switch {
+	case a == b, b == triBot:
+		return a
+	case a == triBot:
+		return b
+	default:
+		return triMaybe
+	}
+}
+
+func (a tri) String() string {
+	switch a {
+	case triNo:
+		return "no"
+	case triYes:
+		return "yes"
+	case triMaybe:
+		return "maybe"
+	default:
+		return "bot"
+	}
+}
+
+// FlowProblem defines a forward dataflow analysis with state S.
+type FlowProblem[S any] interface {
+	// EntryState is the state at function entry.
+	EntryState() S
+	// Clone deep-copies a state so Transfer may mutate freely.
+	Clone(S) S
+	// Transfer applies one block node's effect to the state (in place or
+	// by returning a new state).
+	Transfer(n ast.Node, s S) S
+	// TransferEdge refines the state along a branch edge (e.g. kill facts
+	// on the `err != nil` arm). Called with a private copy.
+	TransferEdge(e Edge, s S) S
+	// Join merges src into dst, reporting whether dst changed.
+	Join(dst, src S) (S, bool)
+}
+
+// maxFixpointSteps bounds solver iterations as a safety net: the lattices
+// used here are finite so the fixpoint terminates, but a non-monotone
+// transfer bug would otherwise spin forever inside the linter.
+const maxFixpointSteps = 1 << 14
+
+// Solve runs the problem to fixpoint and returns the in-state of every
+// block reachable from Entry. Unreachable blocks (code after return, dead
+// goto landing pads) have no entry in the map.
+func Solve[S any](g *CFG, p FlowProblem[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = p.EntryState()
+	work := []*Block{g.Entry}
+	queued := make(map[*Block]bool, len(g.Blocks))
+	queued[g.Entry] = true
+
+	for steps := 0; len(work) > 0 && steps < maxFixpointSteps; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		s := p.Clone(in[b])
+		for _, n := range b.Nodes {
+			s = p.Transfer(n, s)
+		}
+		for _, e := range b.Succs {
+			if e.To == g.Exit {
+				continue
+			}
+			es := p.TransferEdge(e, p.Clone(s))
+			cur, seen := in[e.To]
+			if !seen {
+				in[e.To] = es
+			} else {
+				merged, changed := p.Join(cur, es)
+				in[e.To] = merged
+				if !changed {
+					continue
+				}
+			}
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,340 @@
+package analysis
+
+import "testing"
+
+// The flow-sensitive passes are tested the same way as the syntactic ones:
+// fixtures with "// want <analyzer>" markers, one per expected diagnostic
+// line. Each fixture pairs seeded violations with the repo's accepted
+// idioms (defer release, per-path release, lock handoff, error-path
+// refinement) to pin both directions.
+
+func TestUnlockPath(t *testing.T) {
+	checkFixture(t, UnlockPath, `package fixture
+
+import "sync"
+
+type Tree struct {
+	mu   sync.RWMutex
+	size int
+}
+
+// leak: the early return skips the explicit release.
+func (t *Tree) leak(x int) int {
+	t.mu.Lock()
+	if x > 0 {
+		return x // want unlockpath
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+// good: the canonical defer idiom.
+func (t *Tree) good() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// perPath: explicit release on every path is also accepted.
+func (t *Tree) perPath(x int) int {
+	t.mu.Lock()
+	if x > 0 {
+		t.mu.Unlock()
+		return x
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+// handoff: release-then-return on the fast path, defer on the slow one
+// (the predictor idiom).
+func (t *Tree) handoff() int {
+	t.mu.RLock()
+	if t.size == 0 {
+		t.mu.RUnlock()
+		return 0
+	}
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// maybeDefer: the deferred release is scheduled on only one arm.
+func (t *Tree) maybeDefer(x int) int {
+	t.mu.Lock()
+	if x > 0 {
+		defer t.mu.Unlock()
+	}
+	return x // want unlockpath
+}
+
+// double: second release on the same path.
+func (t *Tree) double() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.mu.Unlock() // want unlockpath
+}
+
+// reenter: sync mutexes are not reentrant.
+func (t *Tree) reenter() {
+	t.mu.Lock()
+	t.mu.Lock() // want unlockpath
+	t.mu.Unlock()
+}
+
+// upgrade: taking the write lock while holding the read lock self-deadlocks.
+func (t *Tree) upgrade() {
+	t.mu.RLock()
+	t.mu.Lock() // want unlockpath
+	t.mu.Unlock()
+	t.mu.RUnlock()
+}
+`)
+}
+
+func TestPinBalance(t *testing.T) {
+	checkFixture(t, PinBalance, `package fixture
+
+import "errors"
+
+var errBad = errors.New("bad")
+
+type ID struct{ p, s uint32 }
+
+type node struct{ ID ID }
+
+func (n *node) bad() bool  { return false }
+func (n *node) use() error { return nil }
+
+type qctx struct{ pinned []ID }
+
+func (q *qctx) empty() bool { return len(q.pinned) == 0 }
+func (q *qctx) count() int  { return len(q.pinned) }
+
+type Tree struct{ root ID }
+
+func (t *Tree) fetch(id ID) (*node, error)   { return &node{ID: id}, nil }
+func (t *Tree) done(id ID, dirty bool) error { _, _ = id, dirty; return nil }
+func (t *Tree) getQctx() *qctx               { return &qctx{} }
+func (t *Tree) releaseQctx(qc *qctx)         { _ = qc }
+
+// leak: the errBad return path skips the release; the err return path is
+// clean because the failed fetch holds no pin (edge refinement).
+func (t *Tree) leak(id ID) error {
+	n, err := t.fetch(id)
+	if err != nil {
+		return err
+	}
+	if n.bad() {
+		return errBad // want pinbalance
+	}
+	return t.done(id, false)
+}
+
+// clean: released on every path, through n.ID on one arm and the original
+// argument on the other.
+func (t *Tree) clean(id ID) error {
+	n, err := t.fetch(id)
+	if err != nil {
+		return err
+	}
+	if n.bad() {
+		t.done(n.ID, false)
+		return errBad
+	}
+	return t.done(id, false)
+}
+
+// deferDone: the deferred release covers every later exit.
+func (t *Tree) deferDone(id ID) error {
+	n, err := t.fetch(id)
+	if err != nil {
+		return err
+	}
+	defer t.done(n.ID, false)
+	return n.use()
+}
+
+// doubleDone: releasing the same pin twice on one path.
+func (t *Tree) doubleDone(id ID) {
+	_, err := t.fetch(id)
+	if err != nil {
+		return
+	}
+	t.done(id, false)
+	t.done(id, false) // want pinbalance
+}
+
+// qctxLeak: the early return drops the query context.
+func (t *Tree) qctxLeak() int {
+	qc := t.getQctx()
+	if qc.empty() {
+		return 0 // want pinbalance
+	}
+	t.releaseQctx(qc)
+	return 1
+}
+
+// qctxClean: the search-path idiom — take, defer the release.
+func (t *Tree) qctxClean() int {
+	qc := t.getQctx()
+	defer t.releaseQctx(qc)
+	return qc.count()
+}
+
+// handUp: the context escapes to the caller, who owns the release.
+func (t *Tree) handUp() *qctx {
+	qc := t.getQctx()
+	return qc
+}
+`)
+}
+
+func TestWALOrder(t *testing.T) {
+	const header = `package fixture
+
+type logFile struct{}
+
+func (*logFile) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (*logFile) Sync() error                              { return nil }
+func (*logFile) Truncate(n int64) error                   { return nil }
+
+type dataFile struct{}
+
+func (*dataFile) Write(p []byte) error { return nil }
+func (*dataFile) Sync() error          { return nil }
+
+type Store struct {
+	log   *logFile
+	inner *dataFile
+	sick  error
+}
+
+func (ws *Store) applyLocked(recs []byte) error { return nil }
+func (ws *Store) trimLog() error                { return nil }
+`
+
+	t.Run("correct protocol", func(t *testing.T) {
+		checkFixture(t, WALOrder, header+`
+// Commit follows the full order: append, sync log, apply, sync data, trim.
+func (ws *Store) Commit(batch []byte) error {
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return err
+	}
+	if err := ws.log.Sync(); err != nil {
+		return err
+	}
+	if err := ws.applyLocked(batch); err != nil {
+		return err
+	}
+	if err := ws.inner.Sync(); err != nil {
+		return err
+	}
+	if err := ws.trimLog(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// replayDiscard is the parse-failure path: trimming with nothing logged
+// in-function is the correct discard.
+func (ws *Store) replayDiscard() error {
+	return ws.trimLog()
+}
+
+// latchClosure is the Commit idiom: a closure latches sick on error paths
+// only, so the happy path stays clean.
+func (ws *Store) latchClosure(batch []byte) error {
+	fail := func(err error) error {
+		ws.sick = err
+		return err
+	}
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return fail(err)
+	}
+	if err := ws.log.Sync(); err != nil {
+		return fail(err)
+	}
+	return ws.applyLocked(batch)
+}
+`)
+	})
+
+	t.Run("commit before sync", func(t *testing.T) {
+		checkFixture(t, WALOrder, header+`
+// Commit returns success while the applied batch is not yet durable.
+func (ws *Store) Commit(batch []byte) error {
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return err
+	}
+	if err := ws.log.Sync(); err != nil {
+		return err
+	}
+	if err := ws.applyLocked(batch); err != nil {
+		return err
+	}
+	return nil // want walorder
+}
+`)
+	})
+
+	t.Run("apply before log sync", func(t *testing.T) {
+		checkFixture(t, WALOrder, header+`
+func (ws *Store) commitNoSync(batch []byte) error {
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return err
+	}
+	if err := ws.applyLocked(batch); err != nil { // want walorder
+		return err
+	}
+	return ws.log.Sync()
+}
+`)
+	})
+
+	t.Run("trim before durable", func(t *testing.T) {
+		checkFixture(t, WALOrder, header+`
+func (ws *Store) trimEarly(batch []byte) error {
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return err
+	}
+	if err := ws.log.Sync(); err != nil {
+		return err
+	}
+	if err := ws.applyLocked(batch); err != nil {
+		return err
+	}
+	if err := ws.trimLog(); err != nil { // want walorder
+		return err
+	}
+	return ws.inner.Sync()
+}
+`)
+	})
+
+	t.Run("log after apply", func(t *testing.T) {
+		checkFixture(t, WALOrder, header+`
+func (ws *Store) inverted(batch []byte) error {
+	if err := ws.applyLocked(batch); err != nil {
+		return err
+	}
+	if _, err := ws.log.WriteAt(batch, 0); err != nil { // want walorder
+		return err
+	}
+	return ws.log.Sync()
+}
+`)
+	})
+
+	t.Run("write after latch", func(t *testing.T) {
+		checkFixture(t, WALOrder, header+`
+func (ws *Store) latched(batch []byte) error {
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		ws.sick = err
+		ws.log.Sync() // want walorder
+		return err
+	}
+	return ws.log.Sync()
+}
+`)
+	})
+}

@@ -155,8 +155,9 @@ func (p *Pass) checkAcquiresBeforeHelpers(fd *ast.FuncDecl, locked map[types.Obj
 	}
 }
 
-// muMethod reports whether call is "<expr>.mu.<Method>()" for a mutex
-// method, returning the method name.
+// muMethod reports whether call is "<expr>.mu.<Method>()" or a bare
+// "mu.<Method>()" on an identifier mutex (package-level or local) for a
+// mutex method, returning the method name.
 func muMethod(call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -166,11 +167,17 @@ func muMethod(call *ast.CallExpr) (string, bool) {
 	if !lockAcquire[name] && !lockRelease[name] {
 		return "", false
 	}
-	inner, ok := sel.X.(*ast.SelectorExpr)
-	if !ok || inner.Sel.Name != "mu" {
-		return "", false
+	switch recv := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if recv.Sel.Name == "mu" {
+			return name, true
+		}
+	case *ast.Ident:
+		if recv.Name == "mu" {
+			return name, true
+		}
 	}
-	return name, true
+	return "", false
 }
 
 // calleeObject resolves the called function or method, or nil.

@@ -1,0 +1,323 @@
+package analysis
+
+// unlockpath is the flow-sensitive companion to lockcheck: it builds the
+// CFG of every function and proves, per path, that each mutex acquisition
+// is matched by a deferred or all-paths release. It flags lock leaks on
+// early returns, double releases, double acquisitions (Go mutexes are not
+// reentrant), and deferred releases that fire after an explicit one.
+//
+// Lock identity is textual: the rendered receiver expression plus the
+// lock mode ("t.mu" write, "t.mu" read), which matches how the repo names
+// mutexes (one receiver chain per critical section). A release with no
+// prior acquisition in the same function is silently accepted — that is
+// the lock-handoff idiom (a helper releasing its caller's lock, or a
+// deferred closure analyzed as its own function).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// UnlockPath proves per-path mutex release balance.
+var UnlockPath = &Analyzer{
+	Name:      "unlockpath",
+	Doc:       "prove every mutex Lock/RLock is released on all paths (flow-sensitive)",
+	Run:       runUnlockPath,
+	AppliesTo: libraryPackage,
+}
+
+// lockFact is the per-path state of one lock key.
+type lockFact struct {
+	held     tri // is the lock held here?
+	deferred tri // is a release scheduled via defer?
+	pos      token.Pos
+}
+
+type lockState map[string]*lockFact
+
+// unlockAnalysis implements FlowProblem[lockState] for one function.
+type unlockAnalysis struct {
+	p      *Pass
+	report bool // diagnostics enabled (replay pass)
+}
+
+func runUnlockPath(p *Pass) {
+	forEachFunc(p.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		g := BuildCFG(body)
+		a := &unlockAnalysis{p: p}
+		in := Solve[lockState](g, a)
+		a.report = true
+		for _, b := range g.Reachable() {
+			s, ok := in[b]
+			if !ok {
+				continue
+			}
+			s = a.Clone(s)
+			for _, n := range b.Nodes {
+				s = a.Transfer(n, s)
+			}
+			for _, e := range b.Succs {
+				if e.To != g.Exit || e.Kind == EdgePanic {
+					continue
+				}
+				pos := body.Rbrace
+				if len(b.Nodes) > 0 {
+					pos = b.Nodes[len(b.Nodes)-1].Pos()
+				}
+				a.checkExit(name, pos, s)
+			}
+		}
+	})
+}
+
+func (a *unlockAnalysis) EntryState() lockState { return make(lockState) }
+
+func (a *unlockAnalysis) Clone(s lockState) lockState {
+	out := make(lockState, len(s))
+	for k, f := range s {
+		c := *f
+		out[k] = &c
+	}
+	return out
+}
+
+// joinPath merges two path facts. An absent key means "untouched on this
+// path", which operationally is "not held": joining it with a held fact
+// yields Maybe, while two not-held paths stay not-held.
+func joinPath(a, b tri) tri {
+	if a == triBot {
+		a = triNo
+	}
+	if b == triBot {
+		b = triNo
+	}
+	return a.join(b)
+}
+
+func (a *unlockAnalysis) Join(dst, src lockState) (lockState, bool) {
+	changed := false
+	for k, sf := range src {
+		df, ok := dst[k]
+		if !ok {
+			nf := *sf
+			nf.held = joinPath(triBot, sf.held)
+			nf.deferred = joinPath(triBot, sf.deferred)
+			dst[k] = &nf
+			changed = true
+			continue
+		}
+		if h := joinPath(df.held, sf.held); h != df.held {
+			df.held = h
+			changed = true
+		}
+		if d := joinPath(df.deferred, sf.deferred); d != df.deferred {
+			df.deferred = d
+			changed = true
+		}
+		if !df.pos.IsValid() && sf.pos.IsValid() {
+			df.pos = sf.pos
+		}
+	}
+	for k, df := range dst {
+		if _, ok := src[k]; ok {
+			continue
+		}
+		if h := joinPath(df.held, triBot); h != df.held {
+			df.held = h
+			changed = true
+		}
+		if d := joinPath(df.deferred, triBot); d != df.deferred {
+			df.deferred = d
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (a *unlockAnalysis) TransferEdge(e Edge, s lockState) lockState { return s }
+
+func (a *unlockAnalysis) Transfer(n ast.Node, s lockState) lockState {
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		a.transferDefer(ds, s)
+		return s
+	}
+	inspectCFGNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, base, acquire, isOp := a.mutexOp(call)
+		if !isOp {
+			return true
+		}
+		if acquire {
+			a.applyAcquire(s, key, base, call.Pos())
+		} else {
+			a.applyRelease(s, key, base, call.Pos())
+		}
+		return true
+	})
+	return s
+}
+
+// transferDefer records releases scheduled by a defer statement: either
+// `defer mu.Unlock()` directly or releases inside `defer func() { ... }()`.
+func (a *unlockAnalysis) transferDefer(ds *ast.DeferStmt, s lockState) {
+	mark := func(call *ast.CallExpr) {
+		key, _, acquire, isOp := a.mutexOp(call)
+		if !isOp || acquire {
+			return
+		}
+		f := s[key]
+		if f == nil {
+			f = &lockFact{}
+			s[key] = f
+		}
+		f.deferred = triYes
+	}
+	if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+		inspectNoFuncLit(lit, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				mark(call)
+			}
+			return true
+		})
+		return
+	}
+	mark(ds.Call)
+}
+
+func (a *unlockAnalysis) applyAcquire(s lockState, key, base string, pos token.Pos) {
+	f := s[key]
+	if f == nil {
+		f = &lockFact{}
+		s[key] = f
+	}
+	if a.report {
+		if f.held == triYes {
+			a.p.Reportf(pos, "acquires %s while already held on this path; sync mutexes are not reentrant", lockDisplay(key, base))
+		} else if of := s[otherModeKey(key)]; of != nil && of.held == triYes {
+			a.p.Reportf(pos, "acquires %s while %s is held on this path (RWMutex self-deadlock)", lockDisplay(key, base), lockDisplay(otherModeKey(key), base))
+		}
+	}
+	f.held = triYes
+	if !f.pos.IsValid() {
+		f.pos = pos
+	}
+}
+
+func (a *unlockAnalysis) applyRelease(s lockState, key, base string, pos token.Pos) {
+	f := s[key]
+	if f == nil {
+		// Lock handoff: releasing a lock acquired by the caller. Accepted.
+		s[key] = &lockFact{held: triNo}
+		return
+	}
+	if a.report && f.held == triNo {
+		a.p.Reportf(pos, "releases %s but it was already released on this path (double unlock)", lockDisplay(key, base))
+	}
+	if a.report && f.held == triBot {
+		if of := s[otherModeKey(key)]; of != nil && of.held == triYes {
+			a.p.Reportf(pos, "releases %s but it is %s that is held on this path (mismatched lock mode)", lockDisplay(key, base), lockDisplay(otherModeKey(key), base))
+		}
+	}
+	f.held = triNo
+}
+
+// checkExit reports leaks at a return or falloff exit.
+func (a *unlockAnalysis) checkExit(fn string, pos token.Pos, s lockState) {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := s[k]
+		base := strings.TrimSuffix(strings.TrimSuffix(k, "|R"), "|W")
+		disp := lockDisplay(k, base)
+		switch f.held {
+		case triYes, triMaybe:
+			if f.deferred == triYes {
+				continue // released when the function returns
+			}
+			where := ""
+			if f.pos.IsValid() {
+				where = fmt.Sprintf(" (acquired at line %d)", a.p.Fset.Position(f.pos).Line)
+			}
+			switch {
+			case f.deferred == triMaybe:
+				a.p.Reportf(pos, "%s may return with %s held: its deferred release is scheduled on only some paths%s", fn, disp, where)
+			case f.held == triYes:
+				a.p.Reportf(pos, "%s returns with %s held%s; release it on this path or defer the release", fn, disp, where)
+			default:
+				a.p.Reportf(pos, "%s may return with %s held: it is released on some paths but not this one%s", fn, disp, where)
+			}
+		case triNo:
+			if f.deferred == triYes {
+				a.p.Reportf(pos, "%s schedules a deferred release of %s but also releases it explicitly on this path (double unlock at return)", fn, disp)
+			}
+		}
+	}
+}
+
+// mutexOp classifies a call as a mutex acquisition or release. key is the
+// dataflow fact key (receiver text plus mode), base the receiver text.
+func (a *unlockAnalysis) mutexOp(call *ast.CallExpr) (key, base string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	name := sel.Sel.Name
+	if !lockAcquire[name] && !lockRelease[name] {
+		return "", "", false, false
+	}
+	if !a.isMutex(sel.X) {
+		return "", "", false, false
+	}
+	base = exprText(a.p.Fset, sel.X)
+	mode := "|W"
+	if name == "RLock" || name == "RUnlock" {
+		mode = "|R"
+	}
+	return base + mode, base, lockAcquire[name], true
+}
+
+// isMutex reports whether the expression has type sync.Mutex/RWMutex
+// (possibly through a pointer), falling back to the repo's ".mu" naming
+// convention when type information is unavailable.
+func (a *unlockAnalysis) isMutex(e ast.Expr) bool {
+	if tv, ok := a.p.Info.Types[e]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return true
+			}
+		}
+		return false
+	}
+	text := exprText(a.p.Fset, e)
+	return text == "mu" || strings.HasSuffix(text, ".mu")
+}
+
+func otherModeKey(key string) string {
+	if strings.HasSuffix(key, "|R") {
+		return strings.TrimSuffix(key, "|R") + "|W"
+	}
+	return strings.TrimSuffix(key, "|W") + "|R"
+}
+
+func lockDisplay(key, base string) string {
+	if strings.HasSuffix(key, "|R") {
+		return base + " (read lock)"
+	}
+	return base
+}
