@@ -174,6 +174,24 @@ func BareGood() int {
 	defer mu.Unlock()
 	return bareHelper()
 }
+
+// scratchLocked locks a function-local scratch mutex; that is not a
+// re-acquisition of the caller's lock. The caller must hold t.mu.
+func (t *Tree) scratchLocked() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return t.size
+}
+
+// LocalOnly locks only a function-local mutex, which cannot satisfy a
+// locked helper's contract on the package-level state.
+func LocalOnly() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return bareHelper() // want lockcheck
+}
 `)
 }
 

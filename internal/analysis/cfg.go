@@ -488,13 +488,37 @@ func inspectNoFuncLit(n ast.Node, f func(ast.Node) bool) {
 	})
 }
 
+// rangeHeadAssign synthesizes the assignment a range head implies: for
+// `for k, v := range xs` the per-iteration `k, v := <elem>`. Only the Lhs
+// is materialized — the passes use it to observe overwrites of tracked
+// variables (a pin or error variable reassigned by `for _, v = range xs`).
+// Returns nil when the head assigns nothing (`for range xs`).
+func rangeHeadAssign(r *ast.RangeStmt) *ast.AssignStmt {
+	var lhs []ast.Expr
+	if r.Key != nil {
+		lhs = append(lhs, r.Key)
+	}
+	if r.Value != nil {
+		lhs = append(lhs, r.Value)
+	}
+	if len(lhs) == 0 {
+		return nil
+	}
+	return &ast.AssignStmt{Lhs: lhs, TokPos: r.TokPos, Tok: r.Tok}
+}
+
 // inspectCFGNode walks the parts of one CFG block node that execute at
 // that program point. It differs from inspectNoFuncLit on a range head:
 // the *ast.RangeStmt appears as the loop-head node for its per-iteration
 // assignment, but its body belongs to other blocks and its X was already
-// evaluated in the predecessor block, so neither is visited.
+// evaluated in the predecessor block. Only the implied key/value
+// assignment is visited, presented as the AssignStmt it is so transfer
+// functions observe overwrites of tracked variables.
 func inspectCFGNode(n ast.Node, f func(ast.Node) bool) {
-	if _, ok := n.(*ast.RangeStmt); ok {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if as := rangeHeadAssign(r); as != nil {
+			inspectNoFuncLit(as, f)
+		}
 		return
 	}
 	inspectNoFuncLit(n, f)

@@ -166,6 +166,45 @@ b3: -> exit(end)
 `)
 }
 
+// divergeProblem is deliberately non-monotone: Join always reports a
+// change, so on a cyclic CFG the solver can only stop at its step bound.
+type divergeProblem struct{}
+
+func (divergeProblem) EntryState() int                { return 0 }
+func (divergeProblem) Clone(s int) int                { return s }
+func (divergeProblem) Transfer(n ast.Node, s int) int { return s + 1 }
+func (divergeProblem) TransferEdge(e Edge, s int) int { return s }
+func (divergeProblem) Join(dst, src int) (int, bool)  { return src, true }
+
+// stableProblem reaches a fixpoint immediately: Join never changes dst.
+type stableProblem struct{}
+
+func (stableProblem) EntryState() int                { return 0 }
+func (stableProblem) Clone(s int) int                { return s }
+func (stableProblem) Transfer(n ast.Node, s int) int { return s }
+func (stableProblem) TransferEdge(e Edge, s int) int { return s }
+func (stableProblem) Join(dst, src int) (int, bool)  { return dst, false }
+
+// TestSolveConvergence pins the solver's truncation contract: a
+// non-monotone problem on a looping graph reports converged=false instead
+// of silently returning a partial result, and a well-behaved problem on
+// the same graph reports converged=true.
+func TestSolveConvergence(t *testing.T) {
+	src := "package p\nfunc f() {\n\tfor {\n\t\tg()\n\t}\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := BuildCFG(file.Decls[0].(*ast.FuncDecl).Body)
+	if _, converged := Solve[int](g, divergeProblem{}); converged {
+		t.Error("non-monotone problem reported convergence")
+	}
+	if _, converged := Solve[int](g, stableProblem{}); !converged {
+		t.Error("stable problem reported non-convergence")
+	}
+}
+
 func TestCFGSwitchFallthrough(t *testing.T) {
 	// fallthrough jumps straight into the next case body; without a
 	// default clause the head keeps an edge to the join.

@@ -67,15 +67,22 @@ const maxFixpointSteps = 1 << 14
 
 // Solve runs the problem to fixpoint and returns the in-state of every
 // block reachable from Entry. Unreachable blocks (code after return, dead
-// goto landing pads) have no entry in the map.
-func Solve[S any](g *CFG, p FlowProblem[S]) map[*Block]S {
+// goto landing pads) have no entry in the map. The boolean reports whether
+// a fixpoint was reached: false means the step bound fired (a non-monotone
+// transfer, or a pathologically large function) and the states are a
+// partial under-approximation — callers must surface that rather than
+// treat the function as proven.
+func Solve[S any](g *CFG, p FlowProblem[S]) (map[*Block]S, bool) {
 	in := make(map[*Block]S, len(g.Blocks))
 	in[g.Entry] = p.EntryState()
 	work := []*Block{g.Entry}
 	queued := make(map[*Block]bool, len(g.Blocks))
 	queued[g.Entry] = true
 
-	for steps := 0; len(work) > 0 && steps < maxFixpointSteps; steps++ {
+	for steps := 0; len(work) > 0; steps++ {
+		if steps >= maxFixpointSteps {
+			return in, false
+		}
 		b := work[0]
 		work = work[1:]
 		queued[b] = false
@@ -105,5 +112,5 @@ func Solve[S any](g *CFG, p FlowProblem[S]) map[*Block]S {
 			}
 		}
 	}
-	return in
+	return in, true
 }

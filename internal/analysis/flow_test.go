@@ -186,6 +186,22 @@ func (t *Tree) handUp() *qctx {
 	qc := t.getQctx()
 	return qc
 }
+
+// rangeErrOverwrite: the range head reassigns err each iteration, so
+// inside the loop err no longer describes the fetch — the error return
+// there leaks the pin (no edge refinement applies).
+func (t *Tree) rangeErrOverwrite(id ID, xs []error) error {
+	n, err := t.fetch(id)
+	if err != nil {
+		return err
+	}
+	for _, err = range xs {
+		if err != nil {
+			return err // want pinbalance
+		}
+	}
+	return t.done(n.ID, false)
+}
 `)
 }
 
@@ -255,6 +271,35 @@ func (ws *Store) latchClosure(batch []byte) error {
 		return fail(err)
 	}
 	return ws.applyLocked(batch)
+}
+`)
+	})
+
+	t.Run("merged branch stays may-fact", func(t *testing.T) {
+		// applyLocked on only one arm must not poison the merged
+		// continuation: the log append after the join is a fresh batch,
+		// not a write-ahead inversion, and the protocol that follows it
+		// is in order.
+		checkFixture(t, WALOrder, header+`
+func (ws *Store) replayThenCommit(batch []byte, replay bool) error {
+	if replay {
+		if err := ws.applyLocked(batch); err != nil {
+			return err
+		}
+	}
+	if _, err := ws.log.WriteAt(batch, 0); err != nil {
+		return err
+	}
+	if err := ws.log.Sync(); err != nil {
+		return err
+	}
+	if err := ws.applyLocked(batch); err != nil {
+		return err
+	}
+	if err := ws.inner.Sync(); err != nil {
+		return err
+	}
+	return ws.trimLog()
 }
 `)
 	})

@@ -95,7 +95,7 @@ func (p *Pass) checkNoMutexOps(fd *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		method, onMu := muMethod(call)
+		method, onMu := muMethod(p.Info, call)
 		if !onMu {
 			return true
 		}
@@ -121,7 +121,7 @@ func (p *Pass) checkAcquiresBeforeHelpers(fd *ast.FuncDecl, locked map[types.Obj
 		if !ok {
 			return true
 		}
-		if method, onMu := muMethod(call); onMu && lockAcquire[method] {
+		if method, onMu := muMethod(p.Info, call); onMu && lockAcquire[method] {
 			if !firstAcquire.IsValid() || call.Pos() < firstAcquire {
 				firstAcquire = call.Pos()
 			}
@@ -156,9 +156,13 @@ func (p *Pass) checkAcquiresBeforeHelpers(fd *ast.FuncDecl, locked map[types.Obj
 }
 
 // muMethod reports whether call is "<expr>.mu.<Method>()" or a bare
-// "mu.<Method>()" on an identifier mutex (package-level or local) for a
-// mutex method, returning the method name.
-func muMethod(call *ast.CallExpr) (string, bool) {
+// "mu.<Method>()" on a package-level sync.Mutex/RWMutex, returning the
+// method name. A function-local `var mu sync.Mutex` is deliberately not
+// matched: it guards scratch state of its own function, not the
+// package-level state a locked helper's contract is about, so counting
+// it would both excuse missing acquisitions and flag harmless scratch
+// locking inside helpers.
+func muMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -173,11 +177,21 @@ func muMethod(call *ast.CallExpr) (string, bool) {
 			return name, true
 		}
 	case *ast.Ident:
-		if recv.Name == "mu" {
+		if recv.Name == "mu" && isPackageLevelMutex(info, recv) {
 			return name, true
 		}
 	}
 	return "", false
+}
+
+// isPackageLevelMutex reports whether the identifier resolves to a
+// package-scope variable of type sync.Mutex/RWMutex.
+func isPackageLevelMutex(info *types.Info, id *ast.Ident) bool {
+	obj := objOf(info, id)
+	if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return false
+	}
+	return isSyncMutexType(obj.Type())
 }
 
 // calleeObject resolves the called function or method, or nil.

@@ -82,7 +82,10 @@ func runPinBalance(p *Pass) {
 			return
 		}
 		g := BuildCFG(body)
-		in := Solve[pinState](g, a)
+		in, converged := Solve[pinState](g, a)
+		if !converged {
+			p.Reportf(body.Pos(), "%s: dataflow solver hit its step bound before reaching a fixpoint; pin-balance facts for this function are incomplete", name)
+		}
 		a.report = true
 		for _, b := range g.Reachable() {
 			s, ok := in[b]
@@ -420,6 +423,13 @@ func (a *pinAnalysis) Transfer(n ast.Node, s pinState) pinState {
 	})
 	if as, ok := n.(*ast.AssignStmt); ok {
 		a.transferAssign(as, s)
+	}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		// The range head re-assigns its key/value each iteration; an
+		// overwrite of a pin or error variable there must be observed.
+		if as := rangeHeadAssign(r); as != nil {
+			a.transferAssign(as, s)
+		}
 	}
 	return s
 }

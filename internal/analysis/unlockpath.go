@@ -49,7 +49,10 @@ func runUnlockPath(p *Pass) {
 	forEachFunc(p.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
 		g := BuildCFG(body)
 		a := &unlockAnalysis{p: p}
-		in := Solve[lockState](g, a)
+		in, converged := Solve[lockState](g, a)
+		if !converged {
+			p.Reportf(body.Pos(), "%s: dataflow solver hit its step bound before reaching a fixpoint; lock-release facts for this function are incomplete", name)
+		}
 		a.report = true
 		for _, b := range g.Reachable() {
 			s, ok := in[b]
@@ -291,21 +294,25 @@ func (a *unlockAnalysis) mutexOp(call *ast.CallExpr) (key, base string, acquire,
 // convention when type information is unavailable.
 func (a *unlockAnalysis) isMutex(e ast.Expr) bool {
 	if tv, ok := a.p.Info.Types[e]; ok && tv.Type != nil {
-		t := tv.Type
-		if ptr, ok := t.(*types.Pointer); ok {
-			t = ptr.Elem()
-		}
-		if named, ok := t.(*types.Named); ok {
-			obj := named.Obj()
-			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
-				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
-				return true
-			}
-		}
-		return false
+		return isSyncMutexType(tv.Type)
 	}
 	text := exprText(a.p.Fset, e)
 	return text == "mu" || strings.HasSuffix(text, ".mu")
+}
+
+// isSyncMutexType reports whether t (possibly through a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
 }
 
 func otherModeKey(key string) string {

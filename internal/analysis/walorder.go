@@ -19,9 +19,12 @@ package analysis
 // methods, and assignments to the `.sick` field — including latching
 // closures (`fail := func(err error) error { ws.sick = ...; ... }`).
 //
-// The state is a set of protocol phases already performed in this
-// function, so replay's "apply an already-durable batch" path (no
-// in-function log append) proves clean while a reordered Commit does not.
+// The state is a pair of phase sets — phases performed on *every* path
+// reaching a point (must) and on *at least one* path (may) — so replay's
+// "apply an already-durable batch" path (no in-function log append)
+// proves clean while a reordered Commit does not. Violations are reported
+// only from must-facts: a phase performed on just one arm of a merged
+// branch never triggers a report on the other arm's continuation.
 
 import (
 	"go/ast"
@@ -40,7 +43,7 @@ var WALOrder = &Analyzer{
 	},
 }
 
-// Protocol phases, accumulated as a bitmask.
+// Protocol phases, accumulated as bitmasks (one must-set, one may-set).
 const (
 	phaseLogged uint8 = 1 << iota // batch appended to the log
 	phaseLogSynced
@@ -60,10 +63,13 @@ const (
 	opLatch
 )
 
-// walState is the per-path protocol state.
+// walState is the per-path protocol state. On a straight-line path
+// must == may; they diverge only at branch merges, where must keeps the
+// intersection of the arms' phases and may their union.
 type walState struct {
-	phases uint8
-	sick   tri
+	must uint8 // phases performed on every path reaching here
+	may  uint8 // phases performed on at least one path reaching here
+	sick tri
 }
 
 type walAnalysis struct {
@@ -77,7 +83,10 @@ func runWALOrder(p *Pass) {
 	forEachFunc(p.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
 		a := &walAnalysis{p: p, fnName: name, latchers: collectLatchers(p.Info, body)}
 		g := BuildCFG(body)
-		in := Solve[*walState](g, a)
+		in, converged := Solve[*walState](g, a)
+		if !converged {
+			p.Reportf(body.Pos(), "%s: dataflow solver hit its step bound before reaching a fixpoint; WAL-order facts for this function are incomplete", name)
+		}
 		a.report = true
 		for _, b := range g.Reachable() {
 			s, ok := in[b]
@@ -138,8 +147,12 @@ func (a *walAnalysis) Clone(s *walState) *walState {
 
 func (a *walAnalysis) Join(dst, src *walState) (*walState, bool) {
 	changed := false
-	if m := dst.phases | src.phases; m != dst.phases {
-		dst.phases = m
+	if m := dst.must & src.must; m != dst.must {
+		dst.must = m
+		changed = true
+	}
+	if m := dst.may | src.may; m != dst.may {
+		dst.may = m
 		changed = true
 	}
 	if k := joinPath(dst.sick, src.sick); k != dst.sick {
@@ -220,31 +233,42 @@ func (a *walAnalysis) applyOp(op walOp, pos token.Pos, s *walState) {
 	if a.report && s.sick == triYes && op != opLatch {
 		a.p.Reportf(pos, "%s mutates the store after ErrBroken has latched on this path; a broken store must stop", a.fnName)
 	}
+	// Reports key on must-facts (the offending phase happened on every
+	// path) and clear on may-facts (no path performed the mitigating
+	// phase), so a phase from one arm of a merged branch can neither
+	// trigger a violation nor falsely excuse one.
 	switch op {
 	case opLogWrite:
-		if a.report && s.phases&phaseApplied != 0 {
+		if a.report && s.must&phaseApplied != 0 {
 			a.p.Reportf(pos, "%s appends to the write-ahead log after applying to the data pages (write-ahead order inverted)", a.fnName)
 		}
-		// A new batch append invalidates every later phase.
-		s.phases = phaseLogged
+		// A new batch append invalidates every later phase on this path.
+		s.must, s.may = phaseLogged, phaseLogged
 	case opLogSync:
-		if s.phases&phaseLogged != 0 {
-			s.phases |= phaseLogSynced
+		if s.must&phaseLogged != 0 {
+			s.must |= phaseLogSynced
+		}
+		if s.may&phaseLogged != 0 {
+			s.may |= phaseLogSynced
 		}
 	case opApply:
-		if a.report && s.phases&phaseLogged != 0 && s.phases&phaseLogSynced == 0 {
+		if a.report && s.must&phaseLogged != 0 && s.may&phaseLogSynced == 0 {
 			a.p.Reportf(pos, "%s applies the batch to the data pages before the log append is synced; a crash here loses the write-ahead guarantee", a.fnName)
 		}
-		s.phases |= phaseApplied
+		s.must |= phaseApplied
+		s.may |= phaseApplied
 	case opInnerSync:
-		if s.phases&phaseApplied != 0 {
-			s.phases |= phaseInnerSynced
+		if s.must&phaseApplied != 0 {
+			s.must |= phaseInnerSynced
+		}
+		if s.may&phaseApplied != 0 {
+			s.may |= phaseInnerSynced
 		}
 	case opTrim:
-		if a.report && s.phases&phaseLogged != 0 && s.phases&phaseInnerSynced == 0 {
+		if a.report && s.must&phaseLogged != 0 && s.may&phaseInnerSynced == 0 {
 			a.p.Reportf(pos, "%s trims the write-ahead log before the applied batch is synced to the data file; a crash here loses the batch", a.fnName)
 		}
-		s.phases = 0
+		s.must, s.may = 0, 0
 	case opLatch:
 		s.sick = triYes
 	}
@@ -259,7 +283,7 @@ func (a *walAnalysis) checkReturn(ret *ast.ReturnStmt, s *walState) {
 	if !isNilIdent(ret.Results[0]) {
 		return
 	}
-	if s.phases&phaseLogged != 0 && s.phases&phaseInnerSynced == 0 {
+	if s.must&phaseLogged != 0 && s.may&phaseInnerSynced == 0 {
 		a.p.Reportf(ret.Pos(), "Commit returns success before the applied batch is synced to the data file (Sync must precede the successful return)")
 	}
 }
