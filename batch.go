@@ -3,8 +3,8 @@ package segidx
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"segidx/internal/fanout"
 )
 
 // Parallelism reports the worker bound the batch APIs use: the value set
@@ -17,13 +17,18 @@ func (x *Index) Parallelism() int {
 }
 
 // SetParallelism changes the worker bound for subsequent batch calls
-// (0 restores the GOMAXPROCS default). Safe to call concurrently; batch
-// operations already in flight keep the bound they started with.
+// (0 restores the GOMAXPROCS default). On a sharded index the bound also
+// governs scatter-gather queries and multi-shard flushes. Safe to call
+// concurrently; operations already in flight keep the bound they started
+// with.
 func (x *Index) SetParallelism(n int) {
 	if n < 0 {
 		n = 0
 	}
 	x.par.Store(int32(n))
+	if f := x.asForest(); f != nil {
+		f.SetParallelism(n)
+	}
 }
 
 // SearchBatch runs Search for every query concurrently, with at most
@@ -90,68 +95,10 @@ func (x *Index) InsertBatch(ctx context.Context, records []BulkRecord) error {
 	})
 }
 
-// runBatch executes fn(0..n-1) across a bounded worker pool, returning
-// the first error (worker or context). Indexes are claimed from an atomic
-// cursor so completion order is irrelevant to callers that write results
-// into index i of a pre-sized slice.
+// runBatch executes fn(0..n-1) across a bounded worker pool (see
+// fanout.Run), returning the first error (worker or context). Indexes are
+// claimed from an atomic cursor so completion order is irrelevant to
+// callers that write results into index i of a pre-sized slice.
 func (x *Index) runBatch(ctx context.Context, n int, fn func(i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	workers := x.Parallelism()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next     atomic.Int64
-		firstErr atomic.Pointer[error]
-		wg       sync.WaitGroup
-	)
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	fail := func(err error) {
-		e := err
-		if firstErr.CompareAndSwap(nil, &e) {
-			cancel()
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if errp := firstErr.Load(); errp != nil {
-		return *errp
-	}
-	return nil
+	return fanout.Run(ctx, x.Parallelism(), n, fn)
 }

@@ -12,6 +12,8 @@
 //	segbench -ablation reserve        # branch-reserve sweep (A1)
 //	segbench -parallel -workers 1,4,8 # concurrent read scale-up (BENCH JSON)
 //	segbench -durability -tuples 20000 # fsync cost of crash-safe commits
+//	segbench -shards 1,2,4,8 -tuples 50000 -flushevery 10 -out BENCH_shards.json
+//	                                  # sharded-forest durable ingest scale-up
 //	segbench -hotpath -tuples 20000 -gate -out BENCH_hotpath.json
 //	                                  # zero-alloc read path gate + artifact
 //	segbench -graph 3 -profile g3     # also write g3.cpu.pprof, g3.heap.pprof
@@ -50,6 +52,7 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run the concurrent read scale-up experiment (emits BENCH JSON)")
 		workers    = flag.String("workers", "1,2,4,8", "worker counts for -parallel, ascending")
 		durability = flag.Bool("durability", false, "measure the fsync cost of crash-safe commits: mem vs file vs WAL store (emits BENCH JSON)")
+		shardsList = flag.String("shards", "", "comma-separated shard counts (baseline 1 first) for the sharded-forest ingest sweep (emits BENCH JSON; honors -out)")
 		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability")
 		hotpath    = flag.Bool("hotpath", false, "run the zero-allocation read path benchmarks (emits BENCH JSON)")
 		gate       = flag.Bool("gate", false, "with -hotpath: exit nonzero if a gated benchmark allocates")
@@ -110,6 +113,17 @@ func main() {
 			fatal(err)
 		}
 		if err := runDurability(*tuples, *flushEvery, *seed, k, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *shardsList != "" {
+		counts, err := parseShardCounts(*shardsList)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runShards(*tuples, *flushEvery, *seed, counts, *out, progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -242,6 +256,7 @@ func printList() {
 	fmt.Println("  -parallel    concurrent read scale-up (BENCH JSON)")
 	fmt.Println("  -durability  fsync cost of crash-safe commits: mem vs file vs WAL (BENCH JSON)")
 	fmt.Println("  -hotpath     zero-allocation read path benchmarks (BENCH JSON; -gate, -out, -baseline)")
+	fmt.Println("  -shards      sharded-forest durable ingest scale-up (BENCH JSON; -flushevery, -out)")
 	fmt.Println("\nany mode accepts -profile PREFIX to write CPU and heap pprof files")
 }
 

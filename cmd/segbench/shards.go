@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+// The -shards mode measures what the index forest buys for durable
+// ingest: a fixed set of concurrent writer clients runs the same insert
+// workload against 1, 2, 4, ... shards over WAL-backed stores, each
+// client issuing its own group commits (FlushShard every -flushevery of
+// its inserts). The client count stays constant across shard counts —
+// the standard sharded-system methodology — so the 1-shard baseline
+// pays what a real multi-client ingest pays: every writer serializes
+// behind one write lock and one WAL, and each group commit stalls the
+// other clients for a full fsync. A forest gives each client its own
+// shard, lock, and WAL, so commits overlap and the per-tree CPU cost
+// (depth, coalescing, working set) shrinks with the partition. Output
+// is BENCH JSON, one line per shard count, with the speedup over the
+// 1-shard baseline.
+
+type shardsJSON struct {
+	Experiment    string  `json:"experiment"`
+	Kind          string  `json:"kind"`
+	Shards        int     `json:"shards"`
+	Writers       int     `json:"writers"`
+	Tuples        int     `json:"tuples"`
+	Seed          uint64  `json:"seed"`
+	FlushEvery    int     `json:"flush_every"`
+	Flushes       int     `json:"flushes"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	SpeedupX      float64 `json:"speedup_x"` // inserts_per_sec / 1-shard baseline
+}
+
+// shardsWriters is the fixed client count for every shard configuration.
+// Shard counts beyond it share writers round-robin (writer w owns every
+// shard s with s%W == w); shard counts below it split each shard's
+// records across the writers that land on it.
+const shardsWriters = 4
+
+// parseShardCounts parses the -shards list ("1,2,4,8"), ascending, with
+// the 1-shard baseline required first.
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[0] != 1 {
+		return nil, fmt.Errorf("-shards must start with the 1-shard baseline, got %q", s)
+	}
+	return out, nil
+}
+
+// runShards executes the sharded ingest sweep and prints BENCH JSON
+// lines to stdout; with -out the same records are also written as a JSON
+// document.
+func runShards(tuples, flushEvery int, seed uint64, counts []int, outPath string, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	spec := harness.NewSpec("shards", workload.I3, tuples)
+	spec.Seed = seed
+	data := spec.Dataset.Generate(spec.Tuples, spec.Seed)
+	dir, err := os.MkdirTemp("", "segbench-shards-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	var results []shardsJSON
+	var baseIPS float64
+	for _, shards := range counts {
+		idx, err := shardsIndex(spec, shards, dir)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", shards, err)
+		}
+		writers := shardsWriters
+
+		// Pre-partition the records by home shard, then deal the shards
+		// out to the fixed writer pool: with W or more shards each writer
+		// owns whole shards (group commits never cross a client), with
+		// fewer shards each shard's records are split evenly across the
+		// clients that land on it, so every configuration ingests the
+		// same records with the same number of concurrent clients.
+		parts := make([][]int, shards)
+		for i, r := range data {
+			s := idx.ShardOf(r)
+			parts[s] = append(parts[s], i)
+		}
+		type job struct {
+			shard int
+			recs  []int
+		}
+		jobs := make([][]job, writers)
+		if shards >= writers {
+			for s := 0; s < shards; s++ {
+				w := s % writers
+				jobs[w] = append(jobs[w], job{s, parts[s]})
+			}
+		} else {
+			for s := 0; s < shards; s++ {
+				var ws []int
+				for w := 0; w < writers; w++ {
+					if w%shards == s {
+						ws = append(ws, w)
+					}
+				}
+				for j, w := range ws {
+					lo := j * len(parts[s]) / len(ws)
+					hi := (j + 1) * len(parts[s]) / len(ws)
+					if lo < hi {
+						jobs[w] = append(jobs[w], job{s, parts[s][lo:hi]})
+					}
+				}
+			}
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, writers)
+		flushes := make([]int, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				since := 0
+				for _, jb := range jobs[w] {
+					for _, i := range jb.recs {
+						if err := idx.Insert(data[i], segidx.RecordID(i+1)); err != nil {
+							errCh <- fmt.Errorf("writer %d insert: %w", w, err)
+							return
+						}
+						if since++; since == flushEvery {
+							if err := idx.FlushShard(jb.shard); err != nil {
+								errCh <- fmt.Errorf("writer %d flush shard %d: %w", w, jb.shard, err)
+								return
+							}
+							flushes[w]++
+							since = 0
+						}
+					}
+					if since > 0 {
+						if err := idx.FlushShard(jb.shard); err != nil {
+							errCh <- fmt.Errorf("writer %d flush shard %d: %w", w, jb.shard, err)
+							return
+						}
+						flushes[w]++
+						since = 0
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			idx.Close()
+			return err
+		default:
+		}
+		elapsed := time.Since(start)
+		if idx.Len() != tuples {
+			idx.Close()
+			return fmt.Errorf("%d shards: Len = %d after ingest, want %d", shards, idx.Len(), tuples)
+		}
+		if err := idx.Close(); err != nil {
+			return fmt.Errorf("%d shards close: %w", shards, err)
+		}
+
+		totalFlushes := 0
+		for _, n := range flushes {
+			totalFlushes += n
+		}
+		ips := float64(tuples) / elapsed.Seconds()
+		if shards == 1 {
+			baseIPS = ips
+		}
+		speedup := 0.0
+		if baseIPS > 0 {
+			speedup = ips / baseIPS
+		}
+		line := shardsJSON{
+			Experiment:    "shards",
+			Kind:          "skeleton-sr-tree",
+			Shards:        shards,
+			Writers:       writers,
+			Tuples:        tuples,
+			Seed:          seed,
+			FlushEvery:    flushEvery,
+			Flushes:       totalFlushes,
+			ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+			InsertsPerSec: ips,
+			SpeedupX:      speedup,
+		}
+		results = append(results, line)
+		buf, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BENCH %s\n", buf)
+		fmt.Fprintf(progress, "shards=%d writers=%d: %d tuples in %v (%d group commits, %.0f inserts/s, %.2fx)\n",
+			shards, writers, tuples, elapsed.Round(time.Millisecond), totalFlushes, ips, speedup)
+	}
+
+	if outPath != "" {
+		doc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// shardsIndex builds an empty durable skeleton SR-Tree forest (or the
+// single-tree baseline) mirroring the harness's construction parameters.
+func shardsIndex(spec harness.Spec, shards int, dir string) (*segidx.Index, error) {
+	opts := []segidx.Option{
+		segidx.WithLeafNodeBytes(spec.LeafBytes),
+		segidx.WithNodeGrowth(spec.Growth),
+		segidx.WithBranchReserve(spec.BranchReserve),
+		segidx.WithLeafPromotion(spec.LeafPromotion),
+		segidx.WithCoalescing(spec.CoalesceEvery, spec.CoalesceCandidates),
+		segidx.WithDurableFile(filepath.Join(dir, fmt.Sprintf("forest-%d.db", shards))),
+	}
+	if shards > 1 {
+		opts = append(opts, segidx.WithShards(shards))
+	}
+	est := segidx.SkeletonEstimate{
+		Tuples:          spec.Tuples,
+		Domain:          segidx.Box(workload.DomainLo, workload.DomainLo, workload.DomainHi, workload.DomainHi),
+		PredictFraction: float64(spec.PredictSample) / float64(spec.Tuples),
+	}
+	return segidx.NewSkeletonSRTree(est, opts...)
+}

@@ -96,9 +96,6 @@ func (t *Tree) deleteMatching(hint geom.Rect, match func(node.Record) bool) (int
 	if err != nil {
 		return 0, err
 	}
-	if len(removed) == 0 {
-		return 0, nil
-	}
 
 	// Removing every portion of a record retires its excess portions:
 	// subtract (portions removed - 1) per ID from the gauge that lets
@@ -112,6 +109,10 @@ func (t *Tree) deleteMatching(hint geom.Rect, match func(node.Record) bool) (int
 		t.cutPortions = 0
 	}
 
+	// Condense even when nothing matched: the traversal dismantles nodes
+	// that were already underfull — a skeleton's pre-built empty leaves —
+	// and could otherwise leave a branchless non-leaf on the descent path.
+	//
 	// A root that lost every branch is replaced by an empty leaf before
 	// orphans are re-attached.
 	if err := t.resetEmptyRoot(o); err != nil {

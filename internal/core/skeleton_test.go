@@ -331,3 +331,39 @@ func TestSkeletonShapeRespectsFanout(t *testing.T) {
 		}
 	}
 }
+
+// TestSkeletonDeleteMissThenInsert is a regression test: a delete that
+// matches nothing still dismantles the skeleton's pre-built empty leaves
+// (they are underfull by construction), so the condense pipeline must run
+// even when zero records were removed — otherwise the root is left as a
+// branchless non-leaf and the next insert panics in chooseBranch.
+func TestSkeletonDeleteMissThenInsert(t *testing.T) {
+	for _, spanning := range []bool{false, true} {
+		t.Run(fmt.Sprintf("spanning=%v", spanning), func(t *testing.T) {
+			tr, err := NewInMemory(skeletonConfig(spanning))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.BuildSkeleton(Estimate{Tuples: 450, Domain: domain1000()}); err != nil {
+				t.Fatal(err)
+			}
+			n, err := tr.Delete(12345, domain1000())
+			if err != nil || n != 0 {
+				t.Fatalf("Delete(missing) = (%d, %v), want (0, nil)", n, err)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after no-op delete: %v", err)
+			}
+			if err := tr.Insert(geom.Rect2(88, 59, 100, 72), 1); err != nil {
+				t.Fatalf("insert after no-op delete: %v", err)
+			}
+			got, err := tr.Search(domain1000())
+			if err != nil || len(got) != 1 || got[0].ID != 1 {
+				t.Fatalf("Search = (%v, %v), want the one inserted record", got, err)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

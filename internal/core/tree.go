@@ -60,6 +60,11 @@ type Tree struct {
 	// cache, dedup set, result arena); see queryCtx.
 	qctxPool sync.Pool
 
+	// epoch is the forest flush epoch the next commit will be stamped
+	// with (0 for standalone trees). It rides the metadata page, so it
+	// becomes durable atomically with the commit it describes.
+	epoch uint64
+
 	// modCounts tracks per-leaf modification frequency for the
 	// coalescing policy ("the L least frequently modified nodes").
 	modCounts     map[page.ID]uint64
@@ -130,6 +135,25 @@ func (t *Tree) NodeCount() int { return t.store.Len() - 1 }
 
 // PoolStats returns buffer pool counters.
 func (t *Tree) PoolStats() buffer.Stats { return t.pool.Stats() }
+
+// SetEpoch stamps the tree with a forest flush epoch. The epoch is
+// persisted on the metadata page by the next Flush, atomically with that
+// commit — a forest bumps its manifest epoch first, then stamps and
+// flushes each shard, so a durable shard image can never carry an epoch
+// the manifest has not reached.
+func (t *Tree) SetEpoch(e uint64) {
+	t.mu.Lock()
+	t.epoch = e
+	t.mu.Unlock()
+}
+
+// Epoch reports the tree's current forest flush epoch (0 for standalone
+// trees).
+func (t *Tree) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
 
 // Flush writes all dirty nodes and the tree metadata back to the page
 // store, then commits if the store is transactional (store.Committer,

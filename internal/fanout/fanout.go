@@ -1,0 +1,80 @@
+// Package fanout runs a fixed number of independent work items across a
+// bounded goroutine pool. It backs the public batch APIs (SearchBatch,
+// StabBatch, InsertBatch) and the forest's scatter-gather query and flush
+// paths, so all of them share one cancellation and error discipline.
+package fanout
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0..n-1) across at most workers goroutines, returning the
+// first error (worker or context). Work indexes are claimed from an atomic
+// cursor, so completion order is unspecified; callers that need ordered
+// results should write into index i of a pre-sized slice. On the first
+// error the remaining work is canceled: items not yet claimed never run,
+// items in flight finish. A nil ctx is treated as context.Background();
+// workers < 2 (or n < 2) degrades to a sequential loop on the calling
+// goroutine.
+func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		e := err
+		if firstErr.CompareAndSwap(nil, &e) {
+			cancel()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		err := Run(context.Background(), workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(nil, 4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(context.Background(), 4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Cancellation is advisory for in-flight items, but the bulk of the
+	// thousand items must have been skipped.
+	if n := ran.Load(); n == 1000 {
+		t.Fatalf("all %d items ran despite early error", n)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Run(ctx, 4, 100, func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Sequential path checks the context too.
+	err = Run(ctx, 1, 100, func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential err = %v, want context.Canceled", err)
+	}
+}

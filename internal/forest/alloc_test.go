@@ -1,0 +1,45 @@
+//go:build !race
+
+// The race detector instruments allocations and defeats the measurement,
+// so this file is excluded from -race builds; the CI forest job still
+// runs every functional forest test under -race.
+
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"segidx/internal/core"
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// TestForestStreamingAllocs proves the scatter wrapper adds no per-call
+// allocations on the streaming read path.
+func TestForestStreamingAllocs(t *testing.T) {
+	f := newMemForest(t, 4, true)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		if err := f.Insert(randRect(rng), node.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := geom.Rect2(100, 100, 400, 400)
+	hits := 0
+	fn := func(core.Entry) bool { hits++; return true }
+	if err := f.SearchFunc(query, fn); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.SearchFunc(query, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchFunc allocates %v per run", allocs)
+	}
+	if hits == 0 {
+		t.Fatal("query matched nothing; test is vacuous")
+	}
+}

@@ -1,0 +1,722 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"segidx/internal/buffer"
+	"segidx/internal/core"
+	"segidx/internal/fanout"
+	"segidx/internal/geom"
+	"segidx/internal/node"
+	"segidx/internal/store"
+)
+
+// Engine is the per-shard operation set: everything the public facade
+// needs from a tree, plus the epoch stamp a forest flush rides on. Both
+// core.Tree and skeleton.Predictor satisfy it.
+type Engine interface {
+	Insert(geom.Rect, node.RecordID) error
+	Delete(node.RecordID, geom.Rect) (int, error)
+	DeleteWhere(geom.Rect, func(core.Entry) bool) (int, error)
+	Search(geom.Rect) ([]core.Entry, error)
+	SearchFunc(geom.Rect, func(core.Entry) bool) error
+	SearchWithin(geom.Rect) ([]core.Entry, error)
+	SearchContaining(geom.Rect) ([]core.Entry, error)
+	SearchContainingFunc(geom.Rect, func(core.Entry) bool) error
+	VisitPortions(func(level int, e core.Entry) bool) error
+	Count(geom.Rect) (int, error)
+	Len() int
+	Height() int
+	NodeCount() int
+	Stats() core.Stats
+	PoolStats() buffer.Stats
+	Flush() error
+	CheckInvariants() error
+	Analyze() (*core.Report, error)
+	SetEpoch(uint64)
+}
+
+// Shard pairs a shard engine with the store it persists to (nil for
+// engines whose store the caller manages).
+type Shard struct {
+	Eng   Engine
+	Store store.Store
+}
+
+// Config configures forest assembly.
+type Config struct {
+	// Dims is the dimensionality every operation is validated against.
+	Dims int
+	// Manifest, when non-nil, is the forest's durable root: Flush commits
+	// it at a bumped epoch before stamping and flushing the shards.
+	Manifest *ManifestFile
+	// Epoch is the manifest epoch the forest starts at (0 for fresh
+	// forests; the recovered manifest epoch on reopen).
+	Epoch uint64
+	// Rebuild walks every shard's stored portions to reconstruct the
+	// ID-to-shard routing map and the per-shard covers. Required when the
+	// shards hold pre-existing data (reopen); a record found in two shards
+	// fails assembly.
+	Rebuild bool
+}
+
+// Forest shards one logical index across N engines. See the package
+// comment for the architecture; the zero value is unusable — use New.
+//
+// Concurrency: each shard engine carries its own write lock, so writers
+// routed to distinct shards proceed in parallel; the forest adds no
+// global operation lock. Flush serializes against other flushes only.
+type Forest struct {
+	dims     int
+	shards   []Engine
+	stores   []store.Store
+	manifest *ManifestFile
+
+	ids    idMap
+	covers []cover
+
+	par atomic.Int32
+
+	flushMu sync.Mutex
+	epoch   uint64 // guarded by flushMu
+
+	// broken latches the first store.ErrBroken any operation surfaces, so
+	// a forest with one sick shard refuses everything, forest-wide, just
+	// as a single sick WALStore does.
+	broken atomic.Pointer[error]
+
+	scanPool sync.Pool
+}
+
+// scanCtx carries one streaming query across shards. Its visit closures
+// are bound once at construction and capture only the scanCtx itself, so
+// a pooled scanCtx makes the multi-shard wrapping allocation-free: the
+// per-call state (the caller's fn, the stop flag) is written into fields
+// the closures read through the pointer.
+type scanCtx struct {
+	fn      func(core.Entry) bool
+	levelFn func(int, core.Entry) bool
+	stopped bool
+	visit   func(core.Entry) bool
+	visitL  func(int, core.Entry) bool
+}
+
+// New assembles a forest over the given shards. Every shard must already
+// be configured identically (dims, page sizes, spanning mode); the forest
+// does not verify engine configuration beyond dimensionality of the
+// operations it routes.
+func New(shards []Shard, cfg Config) (*Forest, error) {
+	if len(shards) < 1 {
+		return nil, errors.New("forest: need at least one shard")
+	}
+	if len(shards) > maxShards {
+		return nil, fmt.Errorf("forest: %d shards exceeds the limit of %d", len(shards), maxShards)
+	}
+	if cfg.Dims < 1 {
+		return nil, errors.New("forest: dims must be at least 1")
+	}
+	f := &Forest{
+		dims:     cfg.Dims,
+		shards:   make([]Engine, len(shards)),
+		stores:   make([]store.Store, len(shards)),
+		manifest: cfg.Manifest,
+		covers:   make([]cover, len(shards)),
+		epoch:    cfg.Epoch,
+	}
+	for i, s := range shards {
+		if s.Eng == nil {
+			return nil, fmt.Errorf("forest: shard %d has no engine", i)
+		}
+		f.shards[i] = s.Eng
+		f.stores[i] = s.Store
+	}
+	f.scanPool.New = func() any {
+		sc := &scanCtx{}
+		sc.visit = func(e core.Entry) bool {
+			if sc.fn(e) {
+				return true
+			}
+			sc.stopped = true
+			return false
+		}
+		sc.visitL = func(level int, e core.Entry) bool {
+			if sc.levelFn(level, e) {
+				return true
+			}
+			sc.stopped = true
+			return false
+		}
+		return sc
+	}
+	if cfg.Rebuild {
+		if err := f.rebuild(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// rebuild reconstructs the routing map and covers from the shards'
+// stored portions.
+func (f *Forest) rebuild() error {
+	for i, s := range f.shards {
+		var conflict node.RecordID
+		bad := false
+		err := s.VisitPortions(func(_ int, e core.Entry) bool {
+			if !f.ids.record(e.ID, i) {
+				conflict, bad = e.ID, true
+				return false
+			}
+			f.covers[i].grow(e.Rect)
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("forest: rebuild shard %d: %w", i, err)
+		}
+		if bad {
+			return fmt.Errorf("forest: record %d stored in two shards (corrupt forest)", conflict)
+		}
+	}
+	return nil
+}
+
+// guard returns the latched breakage, if any. It allocates nothing.
+func (f *Forest) guard() error {
+	if p := f.broken.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// note latches err when it carries store.ErrBroken. First breakage wins.
+// The box is allocated only on the latch path: taking the parameter's own
+// address would heap-move it on every call and break the zero-allocation
+// read gates.
+func (f *Forest) note(err error) {
+	if err == nil || !errors.Is(err, store.ErrBroken) {
+		return
+	}
+	boxed := new(error)
+	*boxed = err
+	f.broken.CompareAndSwap(nil, boxed)
+}
+
+// validate mirrors the single tree's operation-entry rectangle check, so
+// a query the forest prunes to zero shards still reports the error a
+// single tree would.
+func (f *Forest) validate(r geom.Rect) error {
+	if !r.Valid() {
+		return core.ErrBadRect
+	}
+	if r.Dims() != f.dims {
+		return core.ErrDims
+	}
+	return nil
+}
+
+// Shards reports the number of shards.
+func (f *Forest) Shards() int { return len(f.shards) }
+
+// Epoch reports the forest's current manifest epoch.
+func (f *Forest) Epoch() uint64 {
+	f.flushMu.Lock()
+	defer f.flushMu.Unlock()
+	return f.epoch
+}
+
+// SetParallelism bounds the goroutines used for scatter-gather queries
+// and multi-shard flushes; 0 restores the default (GOMAXPROCS).
+func (f *Forest) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	f.par.Store(int32(n))
+}
+
+func (f *Forest) parallelism() int {
+	if p := f.par.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Route reports the shard an insert of r would target absent ID-reuse
+// pinning: the rectangle-center hash over the shard count.
+func (f *Forest) Route(r geom.Rect) int { return RouteRect(r, len(f.shards)) }
+
+// Insert routes the record to its home shard — the shard already owning
+// its ID if the ID was ever seen, else the one its rectangle hashes to —
+// and grows that shard's cover.
+func (f *Forest) Insert(r geom.Rect, id node.RecordID) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	if err := f.validate(r); err != nil {
+		return err
+	}
+	shard := f.ids.assign(id, RouteRect(r, len(f.shards)))
+	if err := f.shards[shard].Insert(r, id); err != nil {
+		f.note(err)
+		return err
+	}
+	f.covers[shard].grow(r)
+	return nil
+}
+
+// Delete removes the record with the given ID from its owning shard. An
+// ID the forest has never seen removes nothing, matching a single tree's
+// miss behavior; the hint is validated first either way.
+func (f *Forest) Delete(id node.RecordID, hint geom.Rect) (int, error) {
+	if err := f.guard(); err != nil {
+		return 0, err
+	}
+	if err := f.validate(hint); err != nil {
+		return 0, err
+	}
+	shard := f.ids.lookup(id)
+	if shard < 0 {
+		return 0, nil
+	}
+	n, err := f.shards[shard].Delete(id, hint)
+	f.note(err)
+	return n, err
+}
+
+// DeleteWhere applies the predicate delete on every shard whose cover
+// overlaps query. Shards run sequentially: the predicate is caller code
+// and the single-tree contract never invokes it concurrently.
+func (f *Forest) DeleteWhere(query geom.Rect, pred func(core.Entry) bool) (int, error) {
+	if err := f.guard(); err != nil {
+		return 0, err
+	}
+	if err := f.validate(query); err != nil {
+		return 0, err
+	}
+	total := 0
+	for i := range f.shards {
+		if !f.covers[i].intersects(query) {
+			continue
+		}
+		n, err := f.shards[i].DeleteWhere(query, pred)
+		total += n
+		if err != nil {
+			f.note(err)
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// scatter fans op across the shards selected by prune and gathers the
+// per-shard result slices, merging without copying when at most one shard
+// produced results.
+func (f *Forest) scatter(query geom.Rect,
+	prune func(*cover, geom.Rect) bool,
+	op func(Engine, geom.Rect) ([]core.Entry, error),
+) ([]core.Entry, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	if err := f.validate(query); err != nil {
+		return nil, err
+	}
+	sel := make([]int, 0, len(f.shards))
+	for i := range f.shards {
+		if prune(&f.covers[i], query) {
+			sel = append(sel, i)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	results := make([][]core.Entry, len(sel))
+	err := fanout.Run(nil, f.parallelism(), len(sel), func(i int) error {
+		r, err := op(f.shards[sel[i]], query)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		f.note(err)
+		return nil, err
+	}
+	// Gather. One non-empty shard hands its slice through unchanged — the
+	// common case under effective pruning costs no re-allocation.
+	total, nonEmpty, last := 0, 0, -1
+	for i, r := range results {
+		if len(r) > 0 {
+			total += len(r)
+			nonEmpty++
+			last = i
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return nil, nil
+	case 1:
+		return results[last], nil
+	}
+	out := make([]core.Entry, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+func intersectsCover(c *cover, q geom.Rect) bool { return c.intersects(q) }
+func containsCover(c *cover, q geom.Rect) bool   { return c.contains(q) }
+
+// Search returns the records intersecting query across all shards,
+// deduplicated per shard by ID (cross-shard duplicates cannot exist: a
+// record lives wholly in one shard).
+func (f *Forest) Search(query geom.Rect) ([]core.Entry, error) {
+	return f.scatter(query, intersectsCover, Engine.Search)
+}
+
+// SearchWithin returns the records entirely contained in query.
+func (f *Forest) SearchWithin(query geom.Rect) ([]core.Entry, error) {
+	return f.scatter(query, intersectsCover, Engine.SearchWithin)
+}
+
+// SearchContaining returns the records that entirely contain query. A
+// shard can only hold a match when its cover contains the query, the
+// tighter prune.
+func (f *Forest) SearchContaining(query geom.Rect) ([]core.Entry, error) {
+	return f.scatter(query, containsCover, Engine.SearchContaining)
+}
+
+// stream runs a streaming query over the pruned shards sequentially,
+// honoring fn's early stop across shard boundaries. The pooled scan
+// context keeps the wrapping allocation-free, preserving the per-shard
+// zero-allocation read path.
+func (f *Forest) stream(query geom.Rect,
+	prune func(*cover, geom.Rect) bool,
+	op func(Engine, geom.Rect, func(core.Entry) bool) error,
+	fn func(core.Entry) bool,
+) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	if err := f.validate(query); err != nil {
+		return err
+	}
+	sc := f.scanPool.Get().(*scanCtx)
+	sc.fn, sc.stopped = fn, false
+	var err error
+	for i := range f.shards {
+		if !prune(&f.covers[i], query) {
+			continue
+		}
+		if err = op(f.shards[i], query, sc.visit); err != nil || sc.stopped {
+			break
+		}
+	}
+	sc.fn = nil
+	f.scanPool.Put(sc)
+	f.note(err)
+	return err
+}
+
+// SearchFunc streams every stored portion intersecting query; fn
+// returning false stops early, across shards. Entry rectangles are views
+// valid only during the callback.
+func (f *Forest) SearchFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	return f.stream(query, intersectsCover, Engine.SearchFunc, fn)
+}
+
+// SearchContainingFunc streams the records that entirely contain query.
+func (f *Forest) SearchContainingFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	return f.stream(query, containsCover, Engine.SearchContainingFunc, fn)
+}
+
+// Count returns the number of logical records intersecting query, summed
+// over the shards whose covers overlap it.
+func (f *Forest) Count(query geom.Rect) (int, error) {
+	if err := f.guard(); err != nil {
+		return 0, err
+	}
+	if err := f.validate(query); err != nil {
+		return 0, err
+	}
+	total := 0
+	for i := range f.shards {
+		if !f.covers[i].intersects(query) {
+			continue
+		}
+		n, err := f.shards[i].Count(query)
+		if err != nil {
+			f.note(err)
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// VisitPortions walks every shard's stored portions in shard order; fn
+// returning false stops the walk.
+func (f *Forest) VisitPortions(fn func(level int, e core.Entry) bool) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	sc := f.scanPool.Get().(*scanCtx)
+	sc.levelFn, sc.stopped = fn, false
+	var err error
+	for _, s := range f.shards {
+		if err = s.VisitPortions(sc.visitL); err != nil || sc.stopped {
+			break
+		}
+	}
+	sc.levelFn = nil
+	f.scanPool.Put(sc)
+	f.note(err)
+	return err
+}
+
+// Len reports the number of logical records across all shards.
+func (f *Forest) Len() int {
+	n := 0
+	for _, s := range f.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Height reports the tallest shard's height.
+func (f *Forest) Height() int {
+	h := 0
+	for _, s := range f.shards {
+		if sh := s.Height(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// NodeCount reports the total index nodes across all shards.
+func (f *Forest) NodeCount() int {
+	n := 0
+	for _, s := range f.shards {
+		n += s.NodeCount()
+	}
+	return n
+}
+
+// Stats returns activity counters summed across shards. Every field of
+// core.Stats is a per-shard count (CutPortions, the only gauge, is a sum
+// of disjoint per-shard gauges), so field-wise addition neither drops nor
+// double-counts anything.
+func (f *Forest) Stats() core.Stats {
+	var out core.Stats
+	for _, sh := range f.shards {
+		s := sh.Stats()
+		out.Searches += s.Searches
+		out.SearchNodeAccesses += s.SearchNodeAccesses
+		out.Inserts += s.Inserts
+		out.InsertNodeAccesses += s.InsertNodeAccesses
+		out.Deletes += s.Deletes
+		out.LeafSplits += s.LeafSplits
+		out.NonLeafSplits += s.NonLeafSplits
+		out.Cuts += s.Cuts
+		out.Remnants += s.Remnants
+		out.SpanPlaced += s.SpanPlaced
+		out.Promotions += s.Promotions
+		out.Demotions += s.Demotions
+		out.Relinks += s.Relinks
+		out.Coalesces += s.Coalesces
+		out.Reinserts += s.Reinserts
+		out.CutPortions += s.CutPortions
+	}
+	return out
+}
+
+// PoolStats returns buffer pool counters summed across the shards'
+// independent pools.
+func (f *Forest) PoolStats() buffer.Stats {
+	var out buffer.Stats
+	for _, sh := range f.shards {
+		s := sh.PoolStats()
+		out.Gets += s.Gets
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Evictions += s.Evictions
+		out.Writes += s.Writes
+	}
+	return out
+}
+
+// ShardStats returns each shard's activity counters.
+func (f *Forest) ShardStats() []core.Stats {
+	out := make([]core.Stats, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// ShardPoolStats returns each shard's buffer pool counters.
+func (f *Forest) ShardPoolStats() []buffer.Stats {
+	out := make([]buffer.Stats, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.PoolStats()
+	}
+	return out
+}
+
+// ShardLens returns each shard's logical record count.
+func (f *Forest) ShardLens() []int {
+	out := make([]int, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = s.Len()
+	}
+	return out
+}
+
+// Analyze merges the per-shard structural reports: counts sum, height is
+// the maximum, and per-level quality metrics are node-weighted means.
+func (f *Forest) Analyze() (*core.Report, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	out := &core.Report{}
+	var weights []int // per-level node counts backing the weighted means
+	for _, s := range f.shards {
+		r, err := s.Analyze()
+		if err != nil {
+			f.note(err)
+			return nil, err
+		}
+		if r.Height > out.Height {
+			out.Height = r.Height
+		}
+		out.Nodes += r.Nodes
+		out.LogicalRecords += r.LogicalRecords
+		out.StoredPortions += r.StoredPortions
+		out.SpanningRecords += r.SpanningRecords
+		for _, lv := range r.Levels {
+			for len(out.Levels) <= lv.Level {
+				out.Levels = append(out.Levels, core.LevelReport{Level: len(out.Levels)})
+				weights = append(weights, 0)
+			}
+			dst := &out.Levels[lv.Level]
+			w0, w1 := weights[lv.Level], lv.Nodes
+			if w0+w1 > 0 {
+				dst.MeanAspect = (dst.MeanAspect*float64(w0) + lv.MeanAspect*float64(w1)) / float64(w0+w1)
+				dst.Occupancy = (dst.Occupancy*float64(w0) + lv.Occupancy*float64(w1)) / float64(w0+w1)
+			}
+			weights[lv.Level] += lv.Nodes
+			dst.Nodes += lv.Nodes
+			dst.Branches += lv.Branches
+			dst.Records += lv.Records
+			dst.Area += lv.Area
+			dst.Overlap += lv.Overlap
+		}
+	}
+	return out, nil
+}
+
+// CheckInvariants validates every shard and the cross-shard invariants:
+// no record ID stored in more than one shard, and every stored ID routed
+// to the shard that holds it.
+func (f *Forest) CheckInvariants() error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	for i, s := range f.shards {
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("forest: shard %d: %w", i, err)
+		}
+	}
+	owner := make(map[node.RecordID]int)
+	for i, s := range f.shards {
+		var ferr error
+		err := s.VisitPortions(func(_ int, e core.Entry) bool {
+			if prev, ok := owner[e.ID]; ok && prev != i {
+				ferr = fmt.Errorf("forest: record %d stored in shards %d and %d", e.ID, prev, i)
+				return false
+			}
+			owner[e.ID] = i
+			if got := f.ids.lookup(e.ID); got != i {
+				ferr = fmt.Errorf("forest: record %d stored in shard %d but routed to %d", e.ID, i, got)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// Flush persists the forest at a new epoch: the manifest (when durable)
+// commits epoch E first, then every shard is stamped with E and flushed —
+// concurrently, each to its own store and WAL. A crash anywhere in this
+// sequence leaves every durable shard at an epoch at most E, which reopen
+// verifies. All shard flushes are attempted even after one fails; the
+// joined error is returned and, when it carries store.ErrBroken, latched
+// forest-wide.
+func (f *Forest) Flush() error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	f.flushMu.Lock()
+	defer f.flushMu.Unlock()
+	if f.manifest != nil {
+		e := f.epoch + 1
+		if err := f.manifest.Commit(Manifest{Shards: len(f.shards), Epoch: e}); err != nil {
+			err = fmt.Errorf("%w: %w", store.ErrBroken, err)
+			f.note(err)
+			return err
+		}
+		f.epoch = e
+		for _, s := range f.shards {
+			s.SetEpoch(e)
+		}
+	}
+	errs := make([]error, len(f.shards))
+	_ = fanout.Run(nil, f.parallelism(), len(f.shards), func(i int) error {
+		errs[i] = f.shards[i].Flush()
+		return nil // attempt every shard; errors are joined below
+	})
+	err := errors.Join(errs...)
+	f.note(err)
+	return err
+}
+
+// FlushShard persists one shard at the forest's current epoch, without a
+// manifest bump — the group-commit primitive for writers pinned to
+// distinct shards. Safe against crashes: the shard's durable epoch never
+// exceeds the manifest's.
+func (f *Forest) FlushShard(i int) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(f.shards) {
+		return fmt.Errorf("forest: shard %d out of range [0, %d)", i, len(f.shards))
+	}
+	err := f.shards[i].Flush()
+	f.note(err)
+	return err
+}
+
+// Close flushes the forest and closes every shard store and the
+// manifest. All errors are reported.
+func (f *Forest) Close() error {
+	err := f.Flush()
+	for _, st := range f.stores {
+		if st != nil {
+			err = errors.Join(err, st.Close())
+		}
+	}
+	if f.manifest != nil {
+		err = errors.Join(err, f.manifest.Close())
+	}
+	return err
+}

@@ -1,0 +1,125 @@
+package forest
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"segidx/internal/store"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "forest.db")
+	mf, err := CreateManifest(store.OS, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateManifest(store.OS, path, 4); err == nil {
+		t.Fatal("CreateManifest over an existing manifest succeeded")
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if err := mf.Commit(Manifest{Shards: 4, Epoch: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	reopened, m, err := OpenManifest(store.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if m.Shards != 4 || m.Epoch != 3 {
+		t.Fatalf("recovered %+v, want shards 4 epoch 3", m)
+	}
+	if !SniffManifest(store.OS, path) {
+		t.Fatal("SniffManifest missed a manifest")
+	}
+}
+
+// TestManifestTornSlot corrupts the most recent slot and verifies reopen
+// falls back to the previous epoch — the double-slot crash guarantee.
+func TestManifestTornSlot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "forest.db")
+	mf, err := CreateManifest(store.OS, path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 lands in slot 1, epoch 2 back in slot 0.
+	for e := uint64(1); e <= 2; e++ {
+		if err := mf.Commit(Manifest{Shards: 2, Epoch: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear slot 0 (the epoch-2 slot): flip one payload byte.
+	f, err := store.OS.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, m, err := OpenManifest(store.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if m.Epoch != 1 || m.Shards != 2 {
+		t.Fatalf("recovered %+v, want the epoch-1 slot", m)
+	}
+	// The torn file still sniffs as a forest: slot 1 carries the magic.
+	if !SniffManifest(store.OS, path) {
+		t.Fatal("SniffManifest missed a torn-but-recoverable manifest")
+	}
+}
+
+func TestManifestEmptyAndForeign(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.db")
+	if _, _, err := OpenManifest(store.OS, empty); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("OpenManifest(empty) = %v, want ErrNoManifest", err)
+	}
+	if SniffManifest(store.OS, empty) {
+		t.Fatal("SniffManifest claimed an empty file")
+	}
+
+	foreign := filepath.Join(dir, "tree.db")
+	f, err := store.OS.OpenFile(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if SniffManifest(store.OS, foreign) {
+		t.Fatal("SniffManifest claimed a zero-filled file")
+	}
+	if _, _, err := OpenManifest(store.OS, foreign); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("OpenManifest(foreign) = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestCreateManifestRejectsBadShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []int{0, -1, maxShards + 1} {
+		if _, err := CreateManifest(store.OS, filepath.Join(dir, "m.db"), n); err == nil {
+			t.Fatalf("CreateManifest(%d) succeeded", n)
+		}
+	}
+}

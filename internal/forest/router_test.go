@@ -1,0 +1,112 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+func randRect(rng *rand.Rand) geom.Rect {
+	x, y := rng.Float64()*1000, rng.Float64()*1000
+	w, h := rng.Float64()*50, rng.Float64()*50
+	return geom.Rect2(x, y, x+w, y+h)
+}
+
+func TestRouteRectDeterministicAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		r := randRect(rng)
+		for _, n := range []int{1, 2, 4, 8} {
+			s := RouteRect(r, n)
+			if s < 0 || s >= n {
+				t.Fatalf("RouteRect(%v, %d) = %d out of range", r, n, s)
+			}
+			if s2 := RouteRect(r.Clone(), n); s2 != s {
+				t.Fatalf("RouteRect not deterministic: %d vs %d", s, s2)
+			}
+		}
+	}
+	if RouteRect(randRect(rng), 1) != 0 {
+		t.Fatal("single shard must route to 0")
+	}
+}
+
+// TestRouteRectSpreads checks the center hash actually distributes:
+// every shard receives a reasonable share of uniform random rectangles.
+func TestRouteRectSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, shards = 8000, 8
+	counts := make([]int, shards)
+	for i := 0; i < n; i++ {
+		counts[RouteRect(randRect(rng), shards)]++
+	}
+	for s, c := range counts {
+		if c < n/shards/2 || c > n/shards*2 {
+			t.Fatalf("shard %d got %d of %d (counts %v)", s, c, n, counts)
+		}
+	}
+}
+
+// TestRouteRectExtentIndependent verifies routing depends only on the
+// center: widening a rectangle symmetrically keeps its shard.
+func TestRouteRectExtentIndependent(t *testing.T) {
+	r := geom.Rect2(10, 20, 30, 40)
+	wide := geom.Rect2(5, 15, 35, 45) // same center (20, 30)
+	if RouteRect(r, 8) != RouteRect(wide, 8) {
+		t.Fatal("routing changed with extent despite identical center")
+	}
+}
+
+func TestIDMapPinsFirstAssignment(t *testing.T) {
+	var im idMap
+	if got := im.lookup(7); got != -1 {
+		t.Fatalf("lookup(unseen) = %d, want -1", got)
+	}
+	if got := im.assign(7, 3); got != 3 {
+		t.Fatalf("assign = %d, want 3", got)
+	}
+	if got := im.assign(7, 5); got != 3 {
+		t.Fatalf("re-assign moved the ID: %d, want 3", got)
+	}
+	if got := im.lookup(7); got != 3 {
+		t.Fatalf("lookup = %d, want 3", got)
+	}
+	// record agrees with an existing binding, refuses a conflicting one.
+	if !im.record(7, 3) {
+		t.Fatal("record(7, 3) rejected the existing binding")
+	}
+	if im.record(7, 4) {
+		t.Fatal("record(7, 4) accepted a conflicting binding")
+	}
+	// Stripes cover the whole ID space without panics.
+	for id := node.RecordID(0); id < 10000; id += 97 {
+		im.assign(id, int(uint64(id)%8))
+	}
+}
+
+func TestCoverGrowAndPrune(t *testing.T) {
+	var c cover
+	if c.intersects(geom.Rect2(0, 0, 1, 1)) {
+		t.Fatal("empty cover intersects")
+	}
+	if c.contains(geom.Rect2(0, 0, 1, 1)) {
+		t.Fatal("empty cover contains")
+	}
+	c.grow(geom.Rect2(10, 10, 20, 20))
+	c.grow(geom.Rect2(15, 5, 30, 18))
+	// Cover is now [10,30]x[5,20].
+	if !c.intersects(geom.Rect2(29, 19, 40, 40)) {
+		t.Fatal("cover misses an overlapping query")
+	}
+	if c.intersects(geom.Rect2(31, 0, 40, 40)) {
+		t.Fatal("cover intersects a disjoint query")
+	}
+	if !c.contains(geom.Rect2(12, 6, 28, 19)) {
+		t.Fatal("cover fails to contain an inner query")
+	}
+	if c.contains(geom.Rect2(12, 4, 28, 19)) {
+		t.Fatal("cover contains a protruding query")
+	}
+}

@@ -41,9 +41,10 @@ type Predictor struct {
 	sample   int
 	bins     int
 
-	mu   sync.RWMutex
-	buf  []buffered
-	tree *core.Tree // nil until the skeleton is built
+	mu    sync.RWMutex
+	buf   []buffered
+	epoch uint64     // forest flush epoch to stamp the tree with at build
+	tree  *core.Tree // nil until the skeleton is built
 }
 
 type buffered struct {
@@ -162,8 +163,22 @@ func (p *Predictor) buildLocked() error {
 		}
 	}
 	p.buf = nil
+	tree.SetEpoch(p.epoch)
 	p.tree = tree
 	return nil
+}
+
+// SetEpoch stamps the predictor with a forest flush epoch (see
+// core.Tree.SetEpoch). While buffering, the epoch is remembered and
+// applied to the tree when the skeleton is built.
+func (p *Predictor) SetEpoch(e uint64) {
+	p.mu.Lock()
+	p.epoch = e
+	t := p.tree
+	p.mu.Unlock()
+	if t != nil {
+		t.SetEpoch(e)
+	}
 }
 
 // Finalize forces skeleton construction from whatever sample has been

@@ -11,11 +11,13 @@ import (
 type Option func(*options) error
 
 type options struct {
-	cfg     core.Config
-	st      store.Store
-	path    string
-	durable bool
-	par     int
+	cfg         core.Config
+	st          store.Store
+	path        string
+	durable     bool
+	par         int
+	shards      int
+	shardBudget int
 }
 
 func resolve(opts []Option) (*options, error) {
@@ -34,6 +36,11 @@ func resolve(opts []Option) (*options, error) {
 	}
 	if o.st != nil && o.path != "" {
 		return nil, fmt.Errorf("segidx: WithStore and WithFile are mutually exclusive")
+	}
+	if o.st != nil && o.shards > 1 {
+		// A sharded index needs one independent store per shard; a single
+		// caller-provided store cannot host a forest.
+		return nil, fmt.Errorf("segidx: WithStore and WithShards are mutually exclusive")
 	}
 	return o, nil
 }
@@ -179,6 +186,44 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("segidx: negative parallelism %d", n)
 		}
 		o.par = n
+		return nil
+	}
+}
+
+// WithShards partitions the index into n independent trees ("shards")
+// behind the same Index facade. Each shard has its own page store,
+// write-ahead log (with WithDurableFile), buffer-pool budget, and write
+// lock, so writers routed to distinct shards proceed in parallel; queries
+// scatter across the shards whose bounding covers overlap the query and
+// gather the results. Records are assigned to shards by hashing the
+// rectangle center (see (*Index).ShardOf); re-inserting under a live ID
+// stays on the ID's home shard, preserving single-tree dedup and delete
+// semantics.
+//
+// With WithFile or WithDurableFile, path holds the forest manifest and
+// shard i's pages live at path.shard<i> (plus a ".wal" sibling per shard
+// when durable); Open and OpenDurable detect the manifest and reassemble
+// the forest. n <= 1 builds a regular single tree. Incompatible with
+// WithStore.
+func WithShards(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("segidx: negative shard count %d", n)
+		}
+		o.shards = n
+		return nil
+	}
+}
+
+// WithShardBudget caps each shard's buffer pool at n bytes. Without it, a
+// WithPoolBytes budget is divided evenly across the shards (so sharding
+// does not multiply memory); with neither, shards are unbounded.
+func WithShardBudget(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("segidx: negative shard budget %d", n)
+		}
+		o.shardBudget = n
 		return nil
 	}
 }

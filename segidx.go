@@ -7,6 +7,7 @@ import (
 
 	"segidx/internal/buffer"
 	"segidx/internal/core"
+	"segidx/internal/forest"
 	"segidx/internal/geom"
 	"segidx/internal/histogram"
 	"segidx/internal/node"
@@ -220,8 +221,12 @@ func (x *Index) Analyze() (*Report, error) { return x.eng.Analyze() }
 
 // Close flushes and releases the index and, when the index owns its store
 // (default in-memory store or WithFile), closes the store. The store is
-// closed even when the flush fails; all errors are reported.
+// closed even when the flush fails; all errors are reported. A sharded
+// index closes every shard store and the forest manifest.
 func (x *Index) Close() error {
+	if f := x.asForest(); f != nil {
+		return f.Close()
+	}
 	err := x.eng.Flush()
 	if x.owned {
 		err = errors.Join(err, x.st.Close())
@@ -284,6 +289,9 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 	if err != nil {
 		return nil, err
 	}
+	if o.shards > 1 {
+		return buildForest(kind, spanning, est, o)
+	}
 	cfg := o.cfg
 	cfg.Spanning = spanning
 	if est == nil {
@@ -340,6 +348,9 @@ func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, 
 	if err != nil {
 		return nil, err
 	}
+	if o.shards > 1 {
+		return bulkLoadForest(records, fill, o)
+	}
 	cfg := o.cfg
 	cfg.Spanning = false
 	cfg.CoalesceEvery = 0
@@ -360,8 +371,12 @@ func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, 
 // Open reattaches an index previously persisted with Flush or Close to a
 // file created via WithFile. The stored metadata supplies the structural
 // configuration (dimensions, page sizes, spanning mode); options may tune
-// runtime knobs such as the buffer budget.
+// runtime knobs such as the buffer budget. A path holding a forest
+// manifest (WithFile + WithShards) reassembles the whole forest.
 func Open(path string, opts ...Option) (*Index, error) {
+	if forest.SniffManifest(store.OS, path) {
+		return openForest(path, false, opts)
+	}
 	fs, err := store.OpenFileStore(path)
 	if err != nil {
 		return nil, err
@@ -372,8 +387,13 @@ func Open(path string, opts ...Option) (*Index, error) {
 // OpenDurable reattaches an index created via WithDurableFile. Opening
 // replays the write-ahead log first: an interrupted Flush is either
 // finished or discarded, so the index always comes back at a commit
-// boundary.
+// boundary. A path holding a forest manifest (WithDurableFile +
+// WithShards) replays every shard's log and reassembles the forest at
+// the manifest's epoch.
 func OpenDurable(path string, opts ...Option) (*Index, error) {
+	if forest.SniffManifest(store.OS, path) {
+		return openForest(path, true, opts)
+	}
 	ws, err := store.OpenWALStore(path)
 	if err != nil {
 		return nil, err
