@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/server"
+	"segidx/internal/workload"
+)
+
+// The -http mode measures the served index end to end: for each shard
+// count it builds a durable skeleton SR-Tree forest, preloads the
+// dataset, stands up the real internal/server handler on a loopback
+// listener, and drives it with a fixed pool of concurrent HTTP clients
+// issuing a search/stab mix drawn from the paper's query workload. Every
+// request pays the full production path — JSON decode, result cache,
+// worker-pool scatter-gather, JSON encode, loopback TCP — so the output
+// (requests/sec and p50/p95/p99 latency) is what a service operator
+// would see, not a microbenchmark. A slice of the query stream repeats
+// deliberately, exercising the epoch-invalidated cache the way real
+// read-heavy traffic does.
+
+type httpJSON struct {
+	Experiment    string  `json:"experiment"`
+	Kind          string  `json:"kind"`
+	Shards        int     `json:"shards"`
+	Clients       int     `json:"clients"`
+	Tuples        int     `json:"tuples"`
+	Requests      int     `json:"requests"`
+	Seed          uint64  `json:"seed"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	RequestsPerS  float64 `json:"requests_per_sec"`
+	P50US         float64 `json:"p50_us"`
+	P95US         float64 `json:"p95_us"`
+	P99US         float64 `json:"p99_us"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	SpeedupX      float64 `json:"speedup_x"` // requests_per_sec / first shard count
+	StabFraction  float64 `json:"stab_fraction"`
+	RepeatQueries int     `json:"repeat_queries"` // distinct queries cycled per client
+}
+
+// httpStabFraction is the share of requests issued as /stab (the rest are
+// /search) — a read-heavy interval-service mix.
+const httpStabFraction = 0.2
+
+// httpRepeatQueries is the number of distinct queries each client cycles
+// through; a smaller pool than the request count means repeats, which is
+// what gives the result cache traffic to serve.
+const httpRepeatQueries = 64
+
+// runHTTPLoad executes the HTTP load sweep over the given shard counts
+// and prints BENCH JSON lines; with -out the records are also written as
+// a JSON document (BENCH_http.json).
+func runHTTPLoad(tuples, requests, clients int, seed uint64, counts []int, outPath string, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if requests < clients {
+		requests = clients
+	}
+	dir, err := os.MkdirTemp("", "segbench-http-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	spec := harness.NewSpec("http", workload.I3, tuples)
+	spec.Seed = seed
+	data := spec.Dataset.Generate(spec.Tuples, spec.Seed)
+
+	var results []httpJSON
+	var baseRPS float64
+	for _, shards := range counts {
+		res, err := runHTTPOnce(spec, data, shards, requests, clients, seed, dir, progress)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", shards, err)
+		}
+		if baseRPS == 0 {
+			baseRPS = res.RequestsPerS
+		}
+		res.SpeedupX = res.RequestsPerS / baseRPS
+		results = append(results, res)
+		buf, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BENCH %s\n", buf)
+		fmt.Fprintf(progress, "shards=%d clients=%d: %d requests in %.0fms (%.0f req/s, p50=%.0fus p95=%.0fus p99=%.0fus, cache %.0f%%)\n",
+			res.Shards, res.Clients, res.Requests, res.ElapsedMS, res.RequestsPerS,
+			res.P50US, res.P95US, res.P99US, 100*res.CacheHitRate)
+	}
+
+	if outPath != "" {
+		doc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// runHTTPOnce benchmarks one shard count: build, preload, serve, drive.
+func runHTTPOnce(spec harness.Spec, data []segidx.Rect, shards, requests, clients int, seed uint64, dir string, progress io.Writer) (httpJSON, error) {
+	idx, err := shardsIndex(spec, shards, dir)
+	if err != nil {
+		return httpJSON{}, err
+	}
+	defer idx.Close()
+	recs := make([]segidx.BulkRecord, len(data))
+	for i, r := range data {
+		recs[i] = segidx.BulkRecord{Rect: r, ID: segidx.RecordID(i + 1)}
+	}
+	if err := idx.InsertBatch(nil, recs); err != nil {
+		return httpJSON{}, err
+	}
+	if err := idx.Flush(); err != nil {
+		return httpJSON{}, err
+	}
+
+	srv := server.New(idx, server.Config{CacheEntries: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return httpJSON{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		httpSrv.Serve(ln) //seglint:allow errchecklite — always returns ErrServerClosed on Close
+	}()
+	defer func() { httpSrv.Close(); <-done }()
+	base := "http://" + ln.Addr().String()
+
+	// Per-client request bodies, prebuilt: a cycle of distinct queries
+	// drawn from the paper's workload, 20% stabs. Clients share some
+	// queries (the pool is seeded per client but overlaps via the small
+	// QAR space), so the cache sees both per-client and cross-client
+	// repeats.
+	perClient := requests / clients
+	bodies := make([][][]byte, clients)
+	for c := range bodies {
+		qrs := workload.Queries(1 /* QAR: square queries */, httpRepeatQueries, seed+uint64(c)%4)
+		pool := make([][]byte, len(qrs))
+		for i, q := range qrs {
+			var body []byte
+			if float64(i%10) < httpStabFraction*10 {
+				cx := (q.Min[0] + q.Max[0]) / 2
+				cy := (q.Min[1] + q.Max[1]) / 2
+				body, err = json.Marshal(map[string]any{"point": []float64{cx, cy}})
+			} else {
+				body, err = json.Marshal(map[string]any{
+					"rect": map[string]any{"min": q.Min, "max": q.Max},
+				})
+			}
+			if err != nil {
+				return httpJSON{}, err
+			}
+			pool[i] = body
+		}
+		bodies[c] = pool
+	}
+
+	transport := &http.Transport{MaxIdleConnsPerHost: clients * 2}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	latencies := make([][]time.Duration, clients)
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, perClient)
+			pool := bodies[c]
+			for i := 0; i < perClient; i++ {
+				body := pool[i%len(pool)]
+				endpoint := "/search"
+				if bytes.Contains(body, []byte(`"point"`)) {
+					endpoint = "/stab"
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("%s: status %d", endpoint, resp.StatusCode)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return httpJSON{}, err
+	default:
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+
+	// Scrape the server's own cache stats for the hit rate.
+	var m server.Metrics
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return httpJSON{}, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return httpJSON{}, err
+	}
+
+	total := len(all)
+	return httpJSON{
+		Experiment:    "http",
+		Kind:          idx.Kind(),
+		Shards:        shards,
+		Clients:       clients,
+		Tuples:        spec.Tuples,
+		Requests:      total,
+		Seed:          seed,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		RequestsPerS:  float64(total) / elapsed.Seconds(),
+		P50US:         q(0.50),
+		P95US:         q(0.95),
+		P99US:         q(0.99),
+		CacheHitRate:  m.Cache.HitRate,
+		StabFraction:  httpStabFraction,
+		RepeatQueries: httpRepeatQueries,
+	}, nil
+}

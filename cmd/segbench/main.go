@@ -16,6 +16,8 @@
 //	                                  # sharded-forest durable ingest scale-up
 //	segbench -hotpath -tuples 20000 -gate -out BENCH_hotpath.json
 //	                                  # zero-alloc read path gate + artifact
+//	segbench -http 1,4,8 -clients 8 -tuples 20000 -out BENCH_http.json
+//	                                  # HTTP load generator vs a live served index
 //	segbench -graph 3 -profile g3     # also write g3.cpu.pprof, g3.heap.pprof
 //	segbench -list                    # what can be run
 package main
@@ -53,6 +55,9 @@ func main() {
 		workers    = flag.String("workers", "1,2,4,8", "worker counts for -parallel, ascending")
 		durability = flag.Bool("durability", false, "measure the fsync cost of crash-safe commits: mem vs file vs WAL store (emits BENCH JSON)")
 		shardsList = flag.String("shards", "", "comma-separated shard counts (baseline 1 first) for the sharded-forest ingest sweep (emits BENCH JSON; honors -out)")
+		httpList   = flag.String("http", "", "comma-separated shard counts for the HTTP load experiment: drive a live segidxd-style server with concurrent clients (emits BENCH JSON; honors -out, -clients, -requests)")
+		clients    = flag.Int("clients", 8, "concurrent HTTP clients for -http")
+		requests   = flag.Int("requests", 4000, "total HTTP requests per shard count for -http")
 		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability")
 		hotpath    = flag.Bool("hotpath", false, "run the zero-allocation read path benchmarks (emits BENCH JSON)")
 		gate       = flag.Bool("gate", false, "with -hotpath: exit nonzero if a gated benchmark allocates")
@@ -124,6 +129,17 @@ func main() {
 			fatal(err)
 		}
 		if err := runShards(*tuples, *flushEvery, *seed, counts, *out, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *httpList != "" {
+		counts, err := parseShardCounts(*httpList)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runHTTPLoad(*tuples, *requests, *clients, *seed, counts, *out, progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -257,6 +273,7 @@ func printList() {
 	fmt.Println("  -durability  fsync cost of crash-safe commits: mem vs file vs WAL (BENCH JSON)")
 	fmt.Println("  -hotpath     zero-allocation read path benchmarks (BENCH JSON; -gate, -out, -baseline)")
 	fmt.Println("  -shards      sharded-forest durable ingest scale-up (BENCH JSON; -flushevery, -out)")
+	fmt.Println("  -http        HTTP load generator against a live served index (BENCH JSON; -clients, -requests, -out)")
 	fmt.Println("\nany mode accepts -profile PREFIX to write CPU and heap pprof files")
 }
 

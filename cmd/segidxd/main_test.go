@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"segidx"
+)
+
+// TestOpenIndex covers the daemon's build-or-reopen decision: fresh
+// in-memory indexes of both kinds, a fresh durable sharded forest, and a
+// restart that reopens the persisted forest with its records intact.
+func TestOpenIndex(t *testing.T) {
+	// Fresh in-memory indexes.
+	for kind, want := range map[string]string{"r": "r-tree", "sr": "sr-tree"} {
+		idx, err := openIndex("", "", 1, 2, kind, 0, 0)
+		if err != nil {
+			t.Fatalf("openIndex(%q): %v", kind, err)
+		}
+		if idx.Kind() != want {
+			t.Errorf("kind %q built %q, want %q", kind, idx.Kind(), want)
+		}
+		idx.Close()
+	}
+
+	// Flag validation.
+	if _, err := openIndex("a", "b", 1, 2, "sr", 0, 0); err == nil {
+		t.Error("-file together with -durable accepted")
+	}
+	if _, err := openIndex("", "", 1, 2, "bogus", 0, 0); err == nil {
+		t.Error("unknown -kind accepted")
+	}
+
+	// A durable sharded forest survives a daemon restart.
+	path := filepath.Join(t.TempDir(), "forest.db")
+	idx, err := openIndex("", path, 4, 2, "sr", 0, 2)
+	if err != nil {
+		t.Fatalf("fresh durable forest: %v", err)
+	}
+	if idx.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", idx.Shards())
+	}
+	for i := 1; i <= 50; i++ {
+		x := float64(i)
+		if err := idx.Insert(segidx.Box(x, x, x+1, x+1), segidx.RecordID(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re, err := openIndex("", path, 4, 2, "sr", 0, 2)
+	if err != nil {
+		t.Fatalf("reopen durable forest: %v", err)
+	}
+	defer re.Close()
+	if re.Shards() != 4 || re.Len() != 50 {
+		t.Fatalf("reopened shards=%d len=%d, want 4 and 50", re.Shards(), re.Len())
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzHTTPDecode throws arbitrary bytes at every request decoder — the
+// full path a network client reaches: MaxBytesReader, strict JSON
+// decoding, then rect/point/record validation. The invariants:
+//
+//   - no decoder panics, whatever the input;
+//   - every accepted rect is engine-legal: 1..MaxDims dimensions, equal
+//     min/max lengths, no NaN, no inverted extent;
+//   - every accepted point is 1..MaxDims NaN-free coordinates;
+//   - every accepted record has a nonzero ID and a legal rect.
+//
+// A seed corpus covers each endpoint's happy path plus the tricky JSON
+// shapes (huge numbers, deep nesting, duplicate keys, null fields).
+func FuzzHTTPDecode(f *testing.F) {
+	seeds := []string{
+		`{"rect": {"min": [0, 0], "max": [1, 1]}}`,
+		`{"rects": [{"min": [0], "max": [1]}, {"min": [2], "max": [3]}]}`,
+		`{"point": [1, 2]}`,
+		`{"points": [[1], [2], [3]]}`,
+		`{"id": 1, "rect": {"min": [0, 0], "max": [1, 1]}}`,
+		`{"id": 1, "hint": {"min": [0, 0], "max": [1, 1]}}`,
+		`{"records": [{"id": 1, "rect": {"min": [0], "max": [1]}}]}`,
+		`{"rect": {"min": [1e308, -1e308], "max": [1e309, 0]}}`,
+		`{"rect": {"min": [0.00000000000000000001], "max": [1]}}`,
+		`{"rect": {"min": null, "max": null}}`,
+		`{"rect": {"min": [0, 0], "max": [1, 1]}, "rects": []}`,
+		`{"point": [null]}`,
+		`{"id": -1, "rect": {"min": [0], "max": [1]}}`,
+		`{"id": 18446744073709551615, "rect": {"min": [0], "max": [1]}}`,
+		`[[[[[[[[[[]]]]]]]]]]`,
+		`{"rect": {"min": [0, 0], "max": [1, 1]}}{"x": 1}`,
+		strings.Repeat(`{"rects": [`, 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	checkRect := func(t *testing.T, min, max []float64, from string) {
+		if len(min) == 0 || len(min) > MaxDims || len(min) != len(max) {
+			t.Fatalf("%s: accepted rect with dims min=%d max=%d", from, len(min), len(max))
+		}
+		for d := range min {
+			if math.IsNaN(min[d]) || math.IsNaN(max[d]) {
+				t.Fatalf("%s: accepted NaN coordinate", from)
+			}
+			if min[d] > max[d] {
+				t.Fatalf("%s: accepted inverted extent [%g, %g]", from, min[d], max[d])
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// Each decoder gets its own request: bodies are one-shot readers.
+		newReq := func() (*httptest.ResponseRecorder, *http.Request) {
+			return httptest.NewRecorder(),
+				httptest.NewRequest("POST", "/x", strings.NewReader(body))
+		}
+		const maxBytes = 1 << 16
+
+		var sr searchRequest
+		if w, r := newReq(); decodeBody(w, r, maxBytes, &sr) == nil {
+			if rects, err := sr.rects(); err == nil {
+				for _, rc := range rects {
+					checkRect(t, rc.Min, rc.Max, "search")
+				}
+			}
+		}
+
+		var st stabRequest
+		if w, r := newReq(); decodeBody(w, r, maxBytes, &st) == nil {
+			if points, err := st.points(); err == nil {
+				if len(points) == 0 {
+					t.Fatalf("stab: accepted empty point set")
+				}
+				for _, p := range points {
+					if len(p) == 0 || len(p) > MaxDims {
+						t.Fatalf("stab: accepted point with %d dims", len(p))
+					}
+					for _, v := range p {
+						if math.IsNaN(v) {
+							t.Fatalf("stab: accepted NaN coordinate")
+						}
+					}
+				}
+			}
+		}
+
+		var rec recordJSON
+		if w, r := newReq(); decodeBody(w, r, maxBytes, &rec) == nil {
+			if br, err := rec.toRecord(); err == nil {
+				if br.ID == 0 {
+					t.Fatalf("insert: accepted zero record ID")
+				}
+				checkRect(t, br.Rect.Min, br.Rect.Max, "insert")
+			}
+		}
+
+		var del deleteRequest
+		if w, r := newReq(); decodeBody(w, r, maxBytes, &del) == nil {
+			if del.Hint != nil {
+				if hint, err := del.Hint.toRect(); err == nil {
+					checkRect(t, hint.Min, hint.Max, "delete")
+				}
+			}
+		}
+
+		var bl bulkloadRequest
+		if w, r := newReq(); decodeBody(w, r, maxBytes, &bl) == nil {
+			for i := range bl.Records {
+				if br, err := bl.Records[i].toRecord(); err == nil {
+					if br.ID == 0 {
+						t.Fatalf("bulkload: accepted zero record ID")
+					}
+					checkRect(t, br.Rect.Min, br.Rect.Max, "bulkload")
+				}
+			}
+		}
+	})
+}

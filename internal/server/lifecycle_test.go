@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"segidx"
+	"segidx/internal/store"
+	"segidx/internal/store/faultstore"
+)
+
+// TestGracefulShutdownFlushesWAL mirrors the daemon's exit path: serve
+// mutations (none of which flush on their own), drain HTTP, close the
+// index, and verify a durable reopen sees every acknowledged insert. The
+// index is a sharded durable forest so the flush must commit every
+// shard's WAL plus the manifest.
+func TestGracefulShutdownFlushesWAL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "forest.db")
+	idx, err := segidx.NewSRTree(
+		segidx.WithDims(2),
+		segidx.WithShards(4),
+		segidx.WithDurableFile(path),
+	)
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+
+	s := New(idx, Config{}) // FlushEvery 0: durability rides on shutdown alone
+	ts := httptest.NewServer(s.Handler())
+
+	const inserts = 200
+	for i := 1; i <= inserts; i++ {
+		x := float64(i * 3)
+		body := fmt.Sprintf(`{"id": %d, "rect": {"min": [%g, %g], "max": [%g, %g]}}`,
+			i, x, x, x+5, x+5)
+		rec := do(t, s, "POST", "/insert", body)
+		if rec.Code != 200 {
+			t.Fatalf("insert %d: status %d (%s)", i, rec.Code, rec.Body.String())
+		}
+	}
+	// Delete one acknowledged record so the reopen check also covers
+	// mutations that shrink the index.
+	rec := do(t, s, "POST", "/delete", `{"id": 1, "hint": {"min": [3, 3], "max": [8, 8]}}`)
+	if rec.Code != 200 {
+		t.Fatalf("delete: status %d", rec.Code)
+	}
+
+	// The daemon's shutdown sequence: stop accepting, drain, flush+close.
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("server Close (flush): %v", err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatalf("index Close: %v", err)
+	}
+
+	re, err := segidx.OpenDurable(path)
+	if err != nil {
+		t.Fatalf("OpenDurable after shutdown: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != inserts-1 {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), inserts-1)
+	}
+	for i := 2; i <= inserts; i++ {
+		x := float64(i * 3)
+		got, err := re.Count(segidx.Box(x, x, x+5, x+5))
+		if err != nil {
+			t.Fatalf("Count: %v", err)
+		}
+		if got < 1 {
+			t.Fatalf("acknowledged insert %d missing after reopen", i)
+		}
+	}
+	if n, err := re.Count(segidx.Box(3, 3, 8, 8)); err != nil || n != 1 {
+		// Only record 2's rect [6,6]x[11,11] overlaps; record 1 is gone.
+		t.Fatalf("deleted record check: count %d, err %v", n, err)
+	}
+}
+
+// TestBrokenEngine503 backs the server's index with a WAL store on a
+// fault-injecting disk, breaks the disk under it, and asserts mutations
+// surface HTTP 503 — not a panic, not a 500 — once the store latches
+// ErrBroken.
+func TestBrokenEngine503(t *testing.T) {
+	disk := faultstore.NewDisk()
+	ws, err := store.OpenWALStoreIn(disk, "idx")
+	if err != nil {
+		t.Fatalf("OpenWALStoreIn: %v", err)
+	}
+	idx, err := segidx.NewSRTree(segidx.WithDims(2), segidx.WithStore(ws))
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	defer ws.Close()
+
+	// FlushEvery 1: every mutation is a group commit, so the injected
+	// sync failure hits inside a request handler.
+	s := New(idx, Config{FlushEvery: 1})
+
+	// A healthy mutation first.
+	rec := do(t, s, "POST", "/insert", `{"id": 1, "rect": {"min": [0,0], "max": [1,1]}}`)
+	if rec.Code != 200 {
+		t.Fatalf("healthy insert: status %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	// Break the disk: the next sync fails, the store latches ErrBroken.
+	disk.FailSync(1, errors.New("injected sync failure"))
+
+	rec = do(t, s, "POST", "/insert", `{"id": 2, "rect": {"min": [2,2], "max": [3,3]}}`)
+	if rec.Code != 503 {
+		t.Fatalf("insert on failing disk: status %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("503 body is not an error JSON: %q", rec.Body.String())
+	}
+
+	// The store is latched: every further mutation is 503 regardless of
+	// endpoint, while the daemon itself keeps serving.
+	for _, probe := range []struct{ path, body string }{
+		{"/insert", `{"id": 3, "rect": {"min": [4,4], "max": [5,5]}}`},
+		{"/delete", `{"id": 1, "hint": {"min": [0,0], "max": [1,1]}}`},
+		{"/bulkload", `{"records": [{"id": 4, "rect": {"min": [6,6], "max": [7,7]}}]}`},
+	} {
+		rec := do(t, s, "POST", probe.path, probe.body)
+		if rec.Code != 503 {
+			t.Fatalf("%s on broken store: status %d, want 503 (%s)",
+				probe.path, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Liveness endpoints still answer 200: the daemon reports its state
+	// instead of dying.
+	if rec := do(t, s, "GET", "/metrics", ""); rec.Code != 200 {
+		t.Fatalf("/metrics on broken store: status %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/healthz", ""); rec.Code != 200 {
+		t.Fatalf("/healthz on broken store: status %d", rec.Code)
+	}
+}
+
+// TestFlushEveryGroupCommit verifies the group-commit knob: with
+// FlushEvery n, acknowledged mutations up to the last multiple of n are
+// durable even without a graceful shutdown (simulated by reopening from
+// the store file without closing).
+func TestFlushEveryGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.db")
+	idx, err := segidx.NewSRTree(segidx.WithDims(2), segidx.WithDurableFile(path))
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	defer idx.Close()
+
+	s := New(idx, Config{FlushEvery: 10})
+	for i := 1; i <= 25; i++ {
+		body := fmt.Sprintf(`{"id": %d, "rect": {"min": [%d, %d], "max": [%d, %d]}}`,
+			i, i, i, i+1, i+1)
+		if rec := do(t, s, "POST", "/insert", body); rec.Code != 200 {
+			t.Fatalf("insert %d: status %d", i, rec.Code)
+		}
+	}
+	// 25 mutations with FlushEvery 10: commits at 10 and 20. A crash now
+	// (reopen without Close) must recover at least the first 20.
+	re, err := segidx.OpenDurable(path)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 20 {
+		t.Fatalf("recovered Len = %d, want 20 (last group commit)", re.Len())
+	}
+}

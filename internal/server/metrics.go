@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsUS are the histogram bucket upper bounds in microseconds;
+// observations beyond the last bound land in an overflow bucket. The
+// geometric spacing covers the span from a cache hit (tens of
+// microseconds) to a cold multi-shard scatter over a spinning store
+// (hundreds of milliseconds) with bounded relative error per bucket.
+var latencyBoundsUS = [...]uint64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000,
+}
+
+const nBuckets = len(latencyBoundsUS) + 1 // +1 for overflow
+
+// latencyHist is a lock-free fixed-bucket latency histogram. Counters are
+// independently atomic: a snapshot is not a consistent cut, but each
+// counter is exact, which is all /metrics needs.
+type latencyHist struct {
+	buckets [nBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+}
+
+// observe records one request duration.
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := 0
+	for i < len(latencyBoundsUS) && us > latencyBoundsUS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// quantile returns the upper bound (in microseconds) of the bucket
+// containing the q-th quantile, the standard fixed-bucket approximation.
+// The overflow bucket reports the largest finite bound.
+func (h *latencyHist) quantile(q float64, counts *[nBuckets]uint64, total uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		if rank < cum {
+			if i < len(latencyBoundsUS) {
+				return latencyBoundsUS[i]
+			}
+			return latencyBoundsUS[len(latencyBoundsUS)-1]
+		}
+	}
+	return latencyBoundsUS[len(latencyBoundsUS)-1]
+}
+
+// LatencyStats is the JSON form of a latency histogram snapshot.
+type LatencyStats struct {
+	Count  uint64 `json:"count"`
+	MeanUS uint64 `json:"mean_us"`
+	P50US  uint64 `json:"p50_us"`
+	P95US  uint64 `json:"p95_us"`
+	P99US  uint64 `json:"p99_us"`
+	// BucketsUS maps each bucket's upper bound to its count; the final
+	// element (bound 0) is the overflow bucket.
+	BucketsUS []LatencyBucket `json:"buckets_us"`
+}
+
+// LatencyBucket is one histogram bucket: observations at most LE
+// microseconds (LE 0 means +Inf, the overflow bucket).
+type LatencyBucket struct {
+	LE    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// snapshot computes the exported view of the histogram.
+func (h *latencyHist) snapshot() LatencyStats {
+	var counts [nBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := LatencyStats{
+		Count:     total,
+		P50US:     h.quantile(0.50, &counts, total),
+		P95US:     h.quantile(0.95, &counts, total),
+		P99US:     h.quantile(0.99, &counts, total),
+		BucketsUS: make([]LatencyBucket, 0, nBuckets),
+	}
+	if total > 0 {
+		s.MeanUS = h.sumUS.Load() / total
+	}
+	for i, n := range counts {
+		le := uint64(0)
+		if i < len(latencyBoundsUS) {
+			le = latencyBoundsUS[i]
+		}
+		s.BucketsUS = append(s.BucketsUS, LatencyBucket{LE: le, Count: n})
+	}
+	return s
+}
+
+// epMetrics tracks one endpoint's request totals and latencies.
+type epMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	latency  latencyHist
+}
+
+// EndpointStats is the JSON form of one endpoint's counters.
+type EndpointStats struct {
+	Requests uint64       `json:"requests"`
+	Errors   uint64       `json:"errors"`
+	Latency  LatencyStats `json:"latency"`
+}
+
+func (m *epMetrics) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		Latency:  m.latency.snapshot(),
+	}
+}
