@@ -41,13 +41,19 @@ func (x *Index) SetParallelism(n int) {
 // workers settles on N recycled contexts: steady-state batch queries
 // allocate only the returned result slices.
 //
+// The whole batch rides one MVCC snapshot: every query observes the same
+// commit boundary regardless of writer activity during the batch, and no
+// query blocks behind a writer.
+//
 // The first error stops the batch and is returned; a canceled context
 // returns ctx.Err(). On error the partial results are discarded. A nil
 // ctx is treated as context.Background().
 func (x *Index) SearchBatch(ctx context.Context, queries []Rect) ([][]Entry, error) {
+	v := x.eng.Snapshot()
+	defer v.Release()
 	results := make([][]Entry, len(queries))
 	err := x.runBatch(ctx, len(queries), func(i int) error {
-		out, err := x.eng.Search(queries[i])
+		out, err := v.Search(queries[i])
 		if err != nil {
 			return err
 		}
@@ -61,12 +67,14 @@ func (x *Index) SearchBatch(ctx context.Context, queries []Rect) ([][]Entry, err
 }
 
 // StabBatch runs Stab for every point concurrently (see SearchBatch for
-// ordering, parallelism, and error semantics). Each point is a coordinate
-// slice of the index's dimensionality.
+// ordering, parallelism, snapshot, and error semantics). Each point is a
+// coordinate slice of the index's dimensionality.
 func (x *Index) StabBatch(ctx context.Context, points [][]float64) ([][]Entry, error) {
+	v := x.eng.Snapshot()
+	defer v.Release()
 	results := make([][]Entry, len(points))
 	err := x.runBatch(ctx, len(points), func(i int) error {
-		out, err := x.eng.SearchContaining(Point(points[i]...))
+		out, err := v.SearchContaining(Point(points[i]...))
 		if err != nil {
 			return err
 		}

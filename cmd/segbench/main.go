@@ -18,6 +18,8 @@
 //	                                  # zero-alloc read path gate + artifact
 //	segbench -http 1,4,8 -clients 8 -tuples 20000 -out BENCH_http.json
 //	                                  # HTTP load generator vs a live served index
+//	segbench -mvcc -tuples 20000 -out BENCH_mvcc.json
+//	                                  # snapshot reads vs RWMutex under an active writer
 //	segbench -graph 3 -profile g3     # also write g3.cpu.pprof, g3.heap.pprof
 //	segbench -list                    # what can be run
 package main
@@ -59,6 +61,8 @@ func main() {
 		clients    = flag.Int("clients", 8, "concurrent HTTP clients for -http")
 		requests   = flag.Int("requests", 4000, "total HTTP requests per shard count for -http")
 		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability")
+		mvcc       = flag.Bool("mvcc", false, "run the MVCC writer-vs-reader interference sweep: snapshot reads vs an external RWMutex baseline (emits BENCH JSON; honors -out, -readers)")
+		readersN   = flag.Int("readers", 4, "concurrent readers for -mvcc")
 		hotpath    = flag.Bool("hotpath", false, "run the zero-allocation read path benchmarks (emits BENCH JSON)")
 		gate       = flag.Bool("gate", false, "with -hotpath: exit nonzero if a gated benchmark allocates")
 		out        = flag.String("out", "", "with -hotpath: also write the results as a JSON document (BENCH_hotpath.json)")
@@ -92,6 +96,17 @@ func main() {
 			fatal(err)
 		}
 		if err := runHotpath(*tuples, *seed, k, *gate, *out, *baseline, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *mvcc {
+		k, err := parseKinds(*kinds)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runMVCC(*tuples, *seed, k, *readersN, *out, progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -274,6 +289,7 @@ func printList() {
 	fmt.Println("  -hotpath     zero-allocation read path benchmarks (BENCH JSON; -gate, -out, -baseline)")
 	fmt.Println("  -shards      sharded-forest durable ingest scale-up (BENCH JSON; -flushevery, -out)")
 	fmt.Println("  -http        HTTP load generator against a live served index (BENCH JSON; -clients, -requests, -out)")
+	fmt.Println("  -mvcc        MVCC snapshot reads vs RWMutex under an active writer (BENCH JSON; -readers, -out)")
 	fmt.Println("\nany mode accepts -profile PREFIX to write CPU and heap pprof files")
 }
 

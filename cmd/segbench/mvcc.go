@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+// The -mvcc mode measures writer-vs-reader interference: a single writer
+// churns inserts and deletes flat out while concurrent readers time every
+// query, once under an external RWMutex (readers hold RLock, the writer
+// holds Lock for each mutation — the classic single-version discipline
+// where a committing writer blocks every reader) and once over MVCC
+// snapshots (each read pins a copy-on-write view and never touches a
+// tree-level lock). The writer loop is identical in both modes; only the
+// read discipline changes, so the latency gap is exactly the cost of
+// reader/writer blocking. Output is BENCH JSON, one line per kind x mode,
+// with reader latency percentiles and the p95 improvement of MVCC over
+// the RWMutex baseline.
+
+type mvccJSON struct {
+	Experiment      string  `json:"experiment"`
+	Kind            string  `json:"kind"`
+	Mode            string  `json:"mode"` // "rwmutex" | "mvcc"
+	Tuples          int     `json:"tuples"`
+	Seed            uint64  `json:"seed"`
+	Readers         int     `json:"readers"`
+	Queries         int     `json:"queries"` // total timed reader queries
+	WriterOps       int     `json:"writer_ops"`
+	WriterOpsPerSec float64 `json:"writer_ops_per_sec"`
+	ReaderQPS       float64 `json:"reader_qps"`
+	P50US           float64 `json:"p50_us"`
+	P95US           float64 `json:"p95_us"`
+	P99US           float64 `json:"p99_us"`
+	MaxUS           float64 `json:"max_us"`
+	// P95ImprovementX is rwmutex p95 / mvcc p95, reported on the mvcc
+	// line (0 on the baseline line).
+	P95ImprovementX float64 `json:"p95_improvement_x,omitempty"`
+}
+
+// mvccQueriesPerReader bounds each reader's timed sample; with the
+// default 4 readers the percentiles rest on 8000 measurements per mode.
+const mvccQueriesPerReader = 2000
+
+// percentileUS reads the q-quantile (0..1] from ascending nanosecond
+// latencies, in microseconds.
+func percentileUS(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / 1e3
+}
+
+// mvccRun drives one mode for one freshly built index and returns the
+// BENCH record (without the improvement factor, which needs both modes).
+func mvccRun(idx *segidx.Index, mode string, readers int,
+	queries, churn []segidx.Rect, tuples int, seed uint64) (mvccJSON, error) {
+	var (
+		mu        sync.RWMutex // the external baseline lock; unused in mvcc mode
+		stop      atomic.Bool
+		writerOps int
+		wg        sync.WaitGroup
+	)
+	errCh := make(chan error, readers+1)
+
+	// The writer churns a sliding window of fresh records so the tree
+	// keeps splitting and condensing without net growth. Identical in
+	// both modes apart from the Lock bracket.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const window = 256
+		next := tuples + 1
+		for i := 0; !stop.Load(); i++ {
+			r := churn[i%len(churn)]
+			if mode == "rwmutex" {
+				mu.Lock()
+			}
+			err := idx.Insert(r, segidx.RecordID(next))
+			if err == nil && i >= window {
+				_, err = idx.Delete(segidx.RecordID(next-window), churn[(i-window)%len(churn)])
+			}
+			if mode == "rwmutex" {
+				mu.Unlock()
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("writer: %w", err)
+				return
+			}
+			next++
+			writerOps++
+		}
+	}()
+
+	lats := make([][]int64, readers)
+	var readersWg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		r := r
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			lats[r] = make([]int64, 0, mvccQueriesPerReader)
+			for i := 0; i < mvccQueriesPerReader; i++ {
+				q := queries[(r*mvccQueriesPerReader+i)%len(queries)]
+				t0 := time.Now()
+				var err error
+				if mode == "rwmutex" {
+					mu.RLock()
+					_, err = idx.Search(q)
+					mu.RUnlock()
+				} else {
+					v := idx.Snapshot()
+					_, err = v.Search(q)
+					v.Release()
+				}
+				lats[r] = append(lats[r], time.Since(t0).Nanoseconds())
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The writer stops once every reader has its sample; readerElapsed is
+	// clocked before the writer drains so QPS reflects contended reads.
+	readersWg.Wait()
+	readerElapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return mvccJSON{}, err
+	default:
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	elapsed := readerElapsed.Seconds()
+	return mvccJSON{
+		Experiment:      "mvcc",
+		Mode:            mode,
+		Tuples:          tuples,
+		Seed:            seed,
+		Readers:         readers,
+		Queries:         len(all),
+		WriterOps:       writerOps,
+		WriterOpsPerSec: float64(writerOps) / elapsed,
+		ReaderQPS:       float64(len(all)) / elapsed,
+		P50US:           percentileUS(all, 0.50),
+		P95US:           percentileUS(all, 0.95),
+		P99US:           percentileUS(all, 0.99),
+		MaxUS:           percentileUS(all, 1.0),
+	}, nil
+}
+
+// runMVCC executes the interference sweep and prints BENCH JSON lines to
+// stdout; with -out the records are also written as a JSON document.
+func runMVCC(tuples int, seed uint64, kinds []harness.Kind, readers int, outPath string, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	if len(kinds) == 0 {
+		kinds = harness.AllKinds()
+	}
+	if readers < 1 {
+		readers = 1
+	}
+	spec := harness.NewSpec("mvcc interference", workload.I3, tuples)
+	spec.Seed = seed
+	queries := workload.Queries(spec.QARs[len(spec.QARs)/2], 256, seed)
+	churn := spec.Dataset.Generate(4096, seed+7)
+
+	var results []mvccJSON
+	for _, kind := range kinds {
+		// A fresh build per mode keeps the tree shapes comparable.
+		var lines [2]mvccJSON
+		for i, mode := range []string{"rwmutex", "mvcc"} {
+			idx, buildTime, err := harness.Build(spec, kind)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(progress, "%-17s built: %d tuples in %v (%s)\n",
+				kind, tuples, buildTime.Round(time.Millisecond), mode)
+			line, err := mvccRun(idx, mode, readers, queries, churn, tuples, seed)
+			if cerr := idx.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("%v %s: %w", kind, mode, err)
+			}
+			line.Kind = kind.String()
+			lines[i] = line
+		}
+		if lines[1].P95US > 0 {
+			lines[1].P95ImprovementX = lines[0].P95US / lines[1].P95US
+		}
+		for _, line := range lines {
+			results = append(results, line)
+			buf, err := json.Marshal(line)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("BENCH %s\n", buf)
+			fmt.Fprintf(progress,
+				"%-17s %-8s readers=%d  p50 %7.1fus  p95 %7.1fus  p99 %7.1fus  %8.0f reads/s  writer %7.0f ops/s\n",
+				line.Kind, line.Mode, line.Readers, line.P50US, line.P95US, line.P99US,
+				line.ReaderQPS, line.WriterOpsPerSec)
+		}
+		fmt.Fprintf(progress, "%-17s p95 under active writer: %.1fus -> %.1fus (%.2fx)\n",
+			lines[1].Kind, lines[0].P95US, lines[1].P95US, lines[1].P95ImprovementX)
+	}
+
+	if outPath != "" {
+		doc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s\n", outPath)
+	}
+	return nil
+}

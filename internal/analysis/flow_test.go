@@ -112,10 +112,24 @@ func (q *qctx) count() int  { return len(q.pinned) }
 
 type Tree struct{ root ID }
 
-func (t *Tree) fetch(id ID) (*node, error)   { return &node{ID: id}, nil }
-func (t *Tree) done(id ID, dirty bool) error { _, _ = id, dirty; return nil }
-func (t *Tree) getQctx() *qctx               { return &qctx{} }
-func (t *Tree) releaseQctx(qc *qctx)         { _ = qc }
+func (t *Tree) fetch(id ID) (*node, error)    { return &node{ID: id}, nil }
+func (t *Tree) fetchMut(id ID) (*node, error) { return &node{ID: id}, nil }
+func (t *Tree) done(id ID, dirty bool) error  { _, _ = id, dirty; return nil }
+func (t *Tree) getQctx() *qctx                { return &qctx{} }
+func (t *Tree) releaseQctx(qc *qctx)          { _ = qc }
+
+type View struct{}
+
+func (v *View) Release()  {}
+func (v *View) len() int  { return 0 }
+func (v *View) ok() bool  { return true }
+
+func (t *Tree) Snapshot() *View { return &View{} }
+
+type Pool struct{}
+
+func (p *Pool) GetMut(id ID) (*node, error)  { return &node{ID: id}, nil }
+func (p *Pool) Unpin(id ID, dirty bool) error { _, _ = id, dirty; return nil }
 
 // leak: the errBad return path skips the release; the err return path is
 // clean because the failed fetch holds no pin (edge refinement).
@@ -201,6 +215,94 @@ func (t *Tree) rangeErrOverwrite(id ID, xs []error) error {
 		}
 	}
 	return t.done(n.ID, false)
+}
+
+// refetch: the copy-on-write idiom — release the read pin, re-acquire for
+// mutation, release again. Each done discharges the live pin; no double
+// unpin, no leak.
+func (t *Tree) refetch(id ID) error {
+	n, err := t.fetch(id)
+	if err != nil {
+		return err
+	}
+	leaf := n.bad()
+	t.done(id, false)
+	if leaf {
+		return nil
+	}
+	n, err = t.fetchMut(id)
+	if err != nil {
+		return err
+	}
+	if n.bad() {
+		t.done(id, false)
+		return errBad
+	}
+	return t.done(id, true)
+}
+
+// mutLeak: a fetchMut pin leaks on the errBad path like any other pin.
+func (t *Tree) mutLeak(id ID) error {
+	n, err := t.fetchMut(id)
+	if err != nil {
+		return err
+	}
+	if n.bad() {
+		return errBad // want pinbalance
+	}
+	return t.done(id, true)
+}
+
+// getMutClean: the pool-level copy-on-write acquisition balances through
+// Unpin.
+func getMutClean(p *Pool, id ID) error {
+	n, err := p.GetMut(id)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(n.ID, true)
+	return n.use()
+}
+
+// snapLeak: the early return drops the snapshot without Release.
+func (t *Tree) snapLeak(id ID) int {
+	v := t.Snapshot()
+	if v.ok() {
+		return 0 // want pinbalance
+	}
+	v.Release()
+	return v.len()
+}
+
+// snapClean: the canonical idiom — pin a view, defer its release.
+func (t *Tree) snapClean() int {
+	v := t.Snapshot()
+	defer v.Release()
+	return v.len()
+}
+
+// snapPerPath: explicit Release on every path is also accepted.
+func (t *Tree) snapPerPath(x int) int {
+	v := t.Snapshot()
+	if x > 0 {
+		v.Release()
+		return x
+	}
+	v.Release()
+	return 0
+}
+
+// snapDouble: releasing the same snapshot twice on one path.
+func (t *Tree) snapDouble() {
+	v := t.Snapshot()
+	v.Release()
+	v.Release() // want pinbalance
+}
+
+// snapEscape: the view is handed to the caller, who owns the release.
+func (t *Tree) snapEscape() *View {
+	v := t.Snapshot()
+	return v
 }
 `)
 }

@@ -1,10 +1,17 @@
 package analysis
 
 // pinbalance proves buffer-pool pin discipline on the query and mutation
-// paths: every node pinned by Tree.fetch, Pool.Get, or Pool.NewNode, and
-// every query context taken from Tree.getQctx, is released (Tree.done,
-// Pool.Unpin, Tree.releaseQctx) on every path out of the function — by a
-// deferred release or an explicit one per path.
+// paths: every node pinned by Tree.fetch/fetchMut, Pool.Get/GetMut, or
+// Pool.NewNode, every query context taken from Tree.getQctx/getQctxAt, and
+// every MVCC snapshot taken by a Snapshot() call, is released (Tree.done,
+// Pool.Unpin, Tree.releaseQctx, View.Release) on every path out of the
+// function — by a deferred release or an explicit one per path.
+//
+// A release resolves against the *live* pin on its page: the
+// release-refetch-release idiom (done(id); fetchMut(id); ... done(id))
+// creates two pins on the same ID, and each done call discharges the one
+// currently held. A release with no live matching pin on some path is a
+// double unpin.
 //
 // Ownership transfer is respected: a pin whose variable escapes the
 // function (returned, stored into a struct/map/slice, or handed bare to a
@@ -30,9 +37,14 @@ var PinBalance = &Analyzer{
 	Doc:  "prove every buffer-pool pin and query context is released on all paths (flow-sensitive)",
 	Run:  runPinBalance,
 	AppliesTo: func(pkgPath string) bool {
-		// The tree core and the root package own pins; everything else
-		// only borrows nodes.
-		return strings.HasSuffix(pkgPath, "internal/core") || !strings.Contains(pkgPath, "/")
+		// The tree core and the root package own pins; the forest, server,
+		// and skeleton layers own MVCC snapshots. Everything else only
+		// borrows nodes.
+		return strings.HasSuffix(pkgPath, "internal/core") ||
+			strings.HasSuffix(pkgPath, "internal/forest") ||
+			strings.HasSuffix(pkgPath, "internal/server") ||
+			strings.HasSuffix(pkgPath, "internal/skeleton") ||
+			!strings.Contains(pkgPath, "/")
 	},
 }
 
@@ -41,6 +53,7 @@ type pinKind uint8
 const (
 	pinPage pinKind = iota
 	pinQctx
+	pinSnap
 )
 
 // pinInfo is the flow-independent description of one pin birth site.
@@ -245,14 +258,18 @@ func (a *pinAnalysis) pinSource(call *ast.CallExpr) (kind pinKind, argKey, desc 
 	recv := namedTypeName(a.p.Info, sel.X)
 	name := sel.Sel.Name
 	switch {
-	case name == "fetch" && recv == "Tree" && len(call.Args) >= 1:
+	case (name == "fetch" || name == "fetchMut") && recv == "Tree" && len(call.Args) >= 1:
 		argKey = exprText(a.p.Fset, call.Args[0])
-	case name == "Get" && recv == "Pool" && len(call.Args) == 1:
+	case (name == "Get" || name == "GetMut") && recv == "Pool" && len(call.Args) == 1:
 		argKey = exprText(a.p.Fset, call.Args[0])
 	case name == "NewNode" && recv == "Pool":
 		// Released only through the node's ID.
-	case name == "getQctx" && recv == "Tree":
-		return pinQctx, "", exprText(a.p.Fset, sel.X) + ".getQctx()", true
+	case (name == "getQctx" || name == "getQctxAt") && recv == "Tree":
+		return pinQctx, "", exprText(a.p.Fset, sel.X) + "." + name + "()", true
+	case name == "Snapshot" && recv != "" && len(call.Args) == 0:
+		// An MVCC snapshot pin: any Snapshot() method on a named receiver
+		// (Tree, Index, Forest, Predictor, the facade engine interface).
+		return pinSnap, "", exprText(a.p.Fset, sel.X) + ".Snapshot()", true
 	default:
 		return 0, "", "", false
 	}
@@ -288,6 +305,16 @@ func (a *pinAnalysis) releaseTargets(call *ast.CallExpr) ([]*pinInfo, bool) {
 		return targets, true
 	case name == "UnpinBatch" && recv == "Pool":
 		return nil, true
+	case name == "Release" && len(call.Args) == 0:
+		// Snapshot release: v.Release() discharges the snapshot held in v.
+		var targets []*pinInfo
+		xObj := identObj(a.p.Info, sel.X)
+		for _, pi := range a.pins {
+			if pi.kind == pinSnap && xObj != nil && pi.varObj == xObj {
+				targets = append(targets, pi)
+			}
+		}
+		return targets, true
 	}
 	return nil, false
 }
@@ -408,14 +435,37 @@ func (a *pinAnalysis) Transfer(n ast.Node, s pinState) pinState {
 		if !isRelease {
 			return true
 		}
+		// The release discharges the live pin(s) on its target: with the
+		// release-refetch-release idiom two pins share an ID, and a done
+		// call belongs to whichever is currently held. Only when no
+		// matching pin is live is this a double unpin.
+		var live []*pinInfo
 		for _, pi := range targets {
+			if f := s[pi]; f != nil && (f.held == triYes || f.held == triMaybe) {
+				live = append(live, pi)
+			}
+		}
+		if len(live) == 0 && a.report {
+			var released *pinInfo
+			for _, pi := range targets {
+				if f := s[pi]; f != nil && f.held == triNo {
+					if released == nil || pi.pos > released.pos {
+						released = pi
+					}
+				}
+			}
+			if released != nil {
+				a.p.Reportf(call.Pos(), "releases %s but it was already released on this path (double unpin)", released.desc)
+			}
+		}
+		if len(live) == 0 {
+			live = targets
+		}
+		for _, pi := range live {
 			f := s[pi]
 			if f == nil {
 				f = &pinFact{}
 				s[pi] = f
-			}
-			if a.report && f.held == triNo {
-				a.p.Reportf(call.Pos(), "releases %s but it was already released on this path (double unpin)", pi.desc)
 			}
 			f.held = triNo
 		}
@@ -546,9 +596,13 @@ func (a *pinAnalysis) checkExit(fn string, pos token.Pos, s pinState) {
 		line := a.p.Fset.Position(pi.pos).Line
 		what := fmt.Sprintf("the page pinned by %s at line %d", pi.desc, line)
 		release := "unpin it on this path or defer the release"
-		if pi.kind == pinQctx {
+		switch pi.kind {
+		case pinQctx:
 			what = fmt.Sprintf("the query context from %s at line %d", pi.desc, line)
 			release = "call releaseQctx on this path or defer it"
+		case pinSnap:
+			what = fmt.Sprintf("the snapshot from %s at line %d", pi.desc, line)
+			release = "call its Release on this path or defer it"
 		}
 		switch {
 		case f.deferred == triMaybe:

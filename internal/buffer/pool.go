@@ -1,5 +1,5 @@
 // Package buffer implements a pinning LRU buffer pool over decoded segment
-// index nodes.
+// index nodes, with copy-on-write page versioning for MVCC snapshot reads.
 //
 // The tree layer reads and writes nodes exclusively through a Pool. Nodes
 // are decoded once on miss and stay resident until evicted; eviction
@@ -7,14 +7,40 @@
 // This mirrors a conventional database buffer manager while letting the
 // index algorithms work on structured nodes rather than raw bytes.
 //
+// # Page versioning
+//
+// Every frame carries the epoch it was installed at. The single writer of a
+// tree brackets each mutating operation with BeginWrite(e) and Publish(e):
+// inside the bracket, GetMut clones the published head of a page before
+// mutating it (copy-on-write), retiring the pre-image into the shard's
+// version chain with supersession epoch e, and Free defers the store-level
+// page release the same way. Readers call GetVersion(id, epoch) with the
+// epoch of the tree state they pinned: the resident head serves them when
+// it was installed at or before their epoch, otherwise the version chain
+// does, otherwise the store does (the retention discipline guarantees the
+// durable image is never newer than what such a fall-through may observe —
+// see the invariant below). Readers never pin; published node versions are
+// immutable, and Go's garbage collector keeps a node alive for as long as
+// any query still holds its pointer.
+//
+// Retention invariant: whenever a page version visible at epoch E is
+// superseded or its page freed, the pre-image is retained in the version
+// chain until Collect(min) runs with min >= its supersession epoch. The
+// tree derives min from its snapshot registry (the smallest pinned epoch,
+// or the published epoch when nothing is pinned), so a version is reclaimed
+// only once every snapshot pinned at or before its supersession epoch has
+// been released. Frames installed inside an unpublished bracket are never
+// evicted (their write-back would clobber the durable pre-image), which is
+// also what makes Rollback possible: dropping the bracket's heads and
+// reinstating their pre-images restores the pool to the published state.
+//
 // The pool is lock-striped: pages hash to one of N shards, each with its
 // own mutex, LRU list, byte budget, and counters. Concurrent readers
 // touching different pages therefore proceed without contending on a
 // single pool-wide lock; only accesses to pages in the same shard
-// serialize. The byte budget is split evenly across shards, so the global
-// cap is approximate under skewed residency (a shard never exceeds its
-// slice, but an idle shard's slack is not lent to a hot one). NewSharded
-// with a shard count of 1 restores the exact single-LRU semantics.
+// serialize. The byte budget is split evenly across shards and covers the
+// resident heads; retained superseded versions are accounted separately
+// (RetainedBytes) and live exactly as long as the snapshots that need them.
 //
 // The paper's search-cost metric (average index nodes accessed per search)
 // is independent of buffer residency; the pool's hit/miss statistics are
@@ -26,6 +52,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"segidx/internal/node"
 	"segidx/internal/page"
@@ -38,20 +65,32 @@ var ErrPinned = errors.New("buffer: page is pinned")
 // Stats counts pool activity since creation. For a sharded pool the
 // counters are aggregated across shards.
 type Stats struct {
-	Gets      uint64 // Get calls
-	Hits      uint64 // Get calls satisfied from memory
-	Misses    uint64 // Get calls that read from the store
+	Gets      uint64 // Get/GetVersion calls
+	Hits      uint64 // calls satisfied from memory
+	Misses    uint64 // calls that read from the store
 	Evictions uint64 // frames evicted to honor the budget
 	Writes    uint64 // dirty pages written back
+
+	Clones        uint64 // copy-on-write clones made by GetMut
+	Collected     uint64 // superseded version frames reclaimed by Collect
+	DeferredFrees uint64 // store page frees executed after their epoch drained
+	Retained      uint64 // superseded version frames currently retained (gauge)
+	RetainedBytes uint64 // bytes held by retained version frames (gauge)
 }
 
-// add accumulates o into s.
+// add accumulates o's counters into s (gauges are summed too: for a
+// sharded pool the aggregate gauge is the total across shards).
 func (s *Stats) add(o Stats) {
 	s.Gets += o.Gets
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.Writes += o.Writes
+	s.Clones += o.Clones
+	s.Collected += o.Collected
+	s.DeferredFrees += o.DeferredFrees
+	s.Retained += o.Retained
+	s.RetainedBytes += o.RetainedBytes
 }
 
 // HitRate returns Hits/Gets, or 0 when no Gets happened.
@@ -67,6 +106,15 @@ type frame struct {
 	bytes int // on-page size of the node
 	pins  int
 	dirty bool
+
+	// install is the write epoch the frame's version was created at (0 for
+	// versions loaded from the store outside a write bracket, which are
+	// visible to every snapshot). superseded is the epoch a newer version
+	// replaced this one at; it is 0 while the frame is the resident head
+	// and strictly positive once the frame is retired to a version chain.
+	install    uint64
+	superseded uint64
+
 	// Intrusive LRU links. Frames double as their own list elements so
 	// unpinning never allocates (a container/list push costs an Element
 	// plus boxing the page ID — one or two heap objects per node visit
@@ -76,16 +124,32 @@ type frame struct {
 	inLRU            bool
 }
 
+// visibleAt reports whether a retired version serves a snapshot at epoch e.
+func (f *frame) visibleAt(e uint64) bool {
+	return f.install <= e && e < f.superseded
+}
+
+// pageVersions is the retained history of one page: superseded version
+// frames newest-first, plus the epoch the page itself was freed at (0 while
+// the page is live). Entries exist only while some retained frame or a
+// pending deferred free needs them; Collect removes drained entries.
+type pageVersions struct {
+	frames []*frame // newest first; every frame has superseded > 0
+	deadAt uint64   // epoch the page was freed at; 0 = page is live
+}
+
 // shard is one lock stripe: an independent LRU pool over the pages that
 // hash to it.
 type shard struct {
 	mu       sync.Mutex
 	budget   int // max resident bytes in this shard; 0 means unlimited
 	resident map[page.ID]*frame
+	old      map[page.ID]*pageVersions // retained superseded versions + graveyard
 	// Intrusive list of unpinned frames; lruHead = most recently used,
 	// lruTail = eviction candidate.
 	lruHead, lruTail *frame
-	bytes            int // total resident bytes in this shard
+	bytes            int // resident head bytes in this shard
+	retainedBytes    int // bytes held by retained version frames
 	stats            Stats
 
 	// pad keeps neighboring shards' mutexes off one cache line.
@@ -124,13 +188,29 @@ func (s *shard) lruRemove(f *frame) {
 	f.inLRU = false
 }
 
-// Pool is a pinning, lock-striped LRU buffer pool. The zero value is not
-// usable; use New or NewSharded.
+// Pool is a pinning, lock-striped LRU buffer pool with copy-on-write page
+// versioning. The zero value is not usable; use New or NewSharded.
 type Pool struct {
 	store  store.Store
 	codec  node.Codec
 	shards []shard
 	mask   uint64 // len(shards) - 1; shard count is a power of two
+
+	// published is the newest committed write epoch: frames installed at
+	// or below it are durable-eligible (evictable); frames above it belong
+	// to the in-progress bracket. Written under the tree's write lock,
+	// read under shard locks, hence atomic.
+	published atomic.Uint64
+
+	// writeEpoch is the epoch of the in-progress write bracket (equals
+	// published when no bracket is open). Only the single writer touches
+	// it, always under the tree's write lock.
+	writeEpoch uint64
+
+	// retained counts version frames across all shards' chains; a cheap
+	// signal for "is there anything to collect" that readers can poll
+	// without taking shard locks.
+	retained atomic.Int64
 }
 
 // defaultShardCount sizes the stripe set to the parallelism available at
@@ -184,6 +264,7 @@ func NewSharded(st store.Store, codec node.Codec, budgetBytes, shards int) *Pool
 	for i := range p.shards {
 		p.shards[i].budget = perShard
 		p.shards[i].resident = make(map[page.ID]*frame)
+		p.shards[i].old = make(map[page.ID]*pageVersions)
 	}
 	return p
 }
@@ -198,8 +279,24 @@ func (p *Pool) shardFor(id page.ID) *shard {
 	return &p.shards[(h>>32)&p.mask]
 }
 
+// BeginWrite opens a write bracket at the given epoch (the tree's published
+// epoch plus one). Frames installed by NewNode and GetMut inside the
+// bracket carry this epoch and stay resident until Publish or Rollback.
+// Only the tree's single writer may call this, under its write lock.
+func (p *Pool) BeginWrite(epoch uint64) { p.writeEpoch = epoch }
+
+// Publish commits the open write bracket: frames installed at the epoch
+// become evictable and the pre-images retired under it become reclaimable
+// once no snapshot needs them (see Collect).
+func (p *Pool) Publish(epoch uint64) { p.published.Store(epoch) }
+
+// inBracket reports whether a write bracket is open. Writer-only.
+func (p *Pool) inBracket() bool { return p.writeEpoch > p.published.Load() }
+
 // NewNode allocates a fresh page of pageBytes in the store and returns the
-// corresponding empty node, pinned and marked dirty.
+// corresponding empty node, pinned and marked dirty. Inside a write bracket
+// the frame carries the bracket epoch, so snapshots pinned before the
+// bracket never observe it.
 func (p *Pool) NewNode(level, pageBytes int) (*node.Node, error) {
 	id, err := p.store.Allocate(pageBytes)
 	if err != nil {
@@ -209,14 +306,16 @@ func (p *Pool) NewNode(level, pageBytes int) (*node.Node, error) {
 	s := p.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.resident[id] = &frame{n: n, bytes: pageBytes, pins: 1, dirty: true}
+	s.resident[id] = &frame{n: n, bytes: pageBytes, pins: 1, dirty: true, install: p.writeEpoch}
 	s.bytes += pageBytes
 	p.evictLocked(s)
 	return n, nil
 }
 
-// Get returns the node for id, pinned. Every Get must be paired with an
-// Unpin.
+// Get returns the newest version of the node for id, pinned. Every Get must
+// be paired with an Unpin. Inside a write bracket the newest version may be
+// the bracket's unpublished clone — exactly what the writer's read-only
+// passes must observe.
 func (p *Pool) Get(id page.ID) (*node.Node, error) {
 	s := p.shardFor(id)
 	s.mu.Lock()
@@ -228,9 +327,94 @@ func (p *Pool) Get(id page.ID) (*node.Node, error) {
 		return f.n, nil
 	}
 	s.stats.Misses++
-	// The store read happens under the shard lock: releasing it would
-	// allow concurrent duplicate decodes of the same page, and only
-	// accesses hashing to this shard wait behind the read.
+	if pv, dead := s.old[id]; dead && pv.deadAt != 0 {
+		// The page was freed in a committed or in-progress bracket and the
+		// store-level free is merely deferred for old snapshots; to the
+		// newest-version view it is gone.
+		return nil, fmt.Errorf("buffer: get %v: %w", id, store.ErrNotFound)
+	}
+	f, err := p.readLocked(s, id)
+	if err != nil {
+		return nil, err
+	}
+	f.pins = 1
+	s.resident[id] = f
+	s.bytes += f.bytes
+	p.evictLocked(s)
+	return f.n, nil
+}
+
+// GetVersion returns the version of the node for id visible at the given
+// snapshot epoch, without pinning it. The returned node is immutable (the
+// writer mutates only unpublished clones) and remains valid for as long as
+// the caller holds the pointer, even across eviction. The caller must hold
+// a snapshot registration at the epoch, which is what keeps the version
+// chain populated (see the retention invariant in the package comment).
+//
+//seglint:hotpath
+func (p *Pool) GetVersion(id page.ID, epoch uint64) (*node.Node, error) {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	head, ok := s.resident[id]
+	if ok && head.install <= epoch {
+		s.stats.Hits++
+		if head.pins == 0 && head.inLRU {
+			s.lruRemove(head)
+			s.lruPushFront(head)
+		}
+		return head.n, nil
+	}
+	if pv, ok := s.old[id]; ok {
+		for _, f := range pv.frames {
+			if f.visibleAt(epoch) {
+				s.stats.Hits++
+				return f.n, nil
+			}
+		}
+		// No retained version covers the epoch: the visible version is the
+		// durable image (a freed page's final content, or a chain whose
+		// head was evicted). Serve it without caching — installing a head
+		// here would collide with the chain's epoch bookkeeping.
+		s.stats.Misses++
+		f, err := p.readLocked(s, id)
+		if err != nil {
+			return nil, err
+		}
+		return f.n, nil
+	}
+	if ok {
+		// head.install > epoch with no version chain: by the retention
+		// invariant no registered snapshot at this epoch can exist. Serve
+		// the durable pre-image best-effort rather than corrupting state.
+		s.stats.Misses++
+		f, err := p.readLocked(s, id)
+		if err != nil {
+			return nil, err
+		}
+		return f.n, nil
+	}
+	s.stats.Misses++
+	f, err := p.readLocked(s, id)
+	if err != nil {
+		return nil, err
+	}
+	s.resident[id] = f
+	s.bytes += f.bytes
+	s.lruPushFront(f)
+	p.evictLocked(s)
+	return f.n, nil
+}
+
+// readLocked reads and decodes a page from the store, returning an
+// uninstalled frame. The install epoch is inferred from the version chain:
+// the durable image of a page with retained versions is its most recently
+// superseded-away head, which was installed exactly when the newest chain
+// entry was retired. The caller must hold s.mu; the store read happens
+// under the shard lock so concurrent accesses cannot decode the same page
+// twice.
+func (p *Pool) readLocked(s *shard, id page.ID) (*frame, error) {
 	buf, err := p.store.Read(id)
 	if err != nil {
 		return nil, err
@@ -239,11 +423,92 @@ func (p *Pool) Get(id page.ID) (*node.Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("buffer: decode %v: %w", id, err)
 	}
-	f := &frame{n: n, bytes: len(buf), pins: 1}
-	s.resident[id] = f
-	s.bytes += len(buf)
+	f := &frame{n: n, bytes: len(buf)}
+	if pv, ok := s.old[id]; ok && len(pv.frames) > 0 {
+		f.install = pv.frames[0].superseded
+	}
+	return f, nil
+}
+
+// GetMut returns the node for id ready for mutation inside the open write
+// bracket, pinned. The first GetMut of a page per bracket clones the
+// published head (copy-on-write) and retires the pre-image into the version
+// chain; later GetMuts of the same page return the same clone. Outside a
+// bracket GetMut degenerates to Get. Only the tree's single writer may call
+// this, under its write lock.
+func (p *Pool) GetMut(id page.ID) (*node.Node, error) {
+	if !p.inBracket() {
+		return p.Get(id)
+	}
+	we := p.writeEpoch
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	if f, ok := s.resident[id]; ok {
+		if f.install == we {
+			s.stats.Hits++
+			s.pinLocked(f)
+			return f.n, nil
+		}
+		if f.pins > 0 {
+			// A pinned published head must not be retired: the pin holder
+			// would unpin into a frame no longer resident. This is a pin
+			// discipline bug in the caller.
+			return nil, fmt.Errorf("buffer: copy-on-write of pinned %v: %w", id, ErrPinned)
+		}
+		s.stats.Hits++
+		clone := f.n.CloneCompact()
+		if f.inLRU {
+			s.lruRemove(f)
+		}
+		delete(s.resident, id)
+		s.bytes -= f.bytes
+		p.retireLocked(s, id, f, we)
+		nf := &frame{n: clone, bytes: f.bytes, pins: 1, dirty: true, install: we}
+		s.resident[id] = nf
+		s.bytes += nf.bytes
+		s.stats.Clones++
+		p.evictLocked(s)
+		return clone, nil
+	}
+	s.stats.Misses++
+	if pv, dead := s.old[id]; dead && pv.deadAt != 0 {
+		return nil, fmt.Errorf("buffer: get %v: %w", id, store.ErrNotFound)
+	}
+	pre, err := p.readLocked(s, id)
+	if err != nil {
+		return nil, err
+	}
+	// Retain the durable pre-image for snapshots pinned below the bracket,
+	// then mutate a clone. The pre-image is reclaimed at the bracket's end
+	// when no snapshot needs it.
+	p.retireLocked(s, id, pre, we)
+	clone := pre.n.CloneCompact()
+	nf := &frame{n: clone, bytes: pre.bytes, pins: 1, dirty: true, install: we}
+	s.resident[id] = nf
+	s.bytes += nf.bytes
+	s.stats.Clones++
 	p.evictLocked(s)
-	return n, nil
+	return clone, nil
+}
+
+// retireLocked pushes a superseded version frame onto the page's chain.
+// The caller must hold s.mu and must already have detached f from the
+// resident map and LRU.
+func (p *Pool) retireLocked(s *shard, id page.ID, f *frame, epoch uint64) {
+	f.superseded = epoch
+	f.dirty = false
+	pv, ok := s.old[id]
+	if !ok {
+		pv = &pageVersions{}
+		s.old[id] = pv
+	}
+	pv.frames = append(pv.frames, nil)
+	copy(pv.frames[1:], pv.frames)
+	pv.frames[0] = f
+	s.retainedBytes += f.bytes
+	p.retained.Add(1)
 }
 
 // Unpin releases one pin. dirty marks the node as modified since fetch; it
@@ -256,9 +521,7 @@ func (p *Pool) Unpin(id page.ID, dirty bool) error {
 }
 
 // UnpinBatch releases one clean pin on each id, grouping consecutive ids
-// that hash to the same shard under a single lock acquisition. The read
-// path pins each visited page once per query and returns them all here at
-// query end, instead of paying a lock round trip per node visit. On error
+// that hash to the same shard under a single lock acquisition. On error
 // the remaining ids stay pinned (callers treat any failure as fatal, the
 // same way Tree.done does).
 //
@@ -320,30 +583,36 @@ func (s *shard) pinLocked(f *frame) {
 }
 
 // evictLocked evicts least-recently-used unpinned frames of the shard
-// until its budget is honored. Frames that fail to serialize stay resident
-// (the error will resurface on Flush). The caller must hold s.mu.
+// until its budget is honored. Frames installed by the open write bracket
+// are skipped: writing them back would clobber the durable pre-image that
+// snapshots below the bracket (and Rollback) still rely on. Frames that
+// fail to serialize stay resident (the error will resurface on Flush). The
+// caller must hold s.mu.
 func (p *Pool) evictLocked(s *shard) {
 	if s.budget <= 0 {
 		return
 	}
-	for s.bytes > s.budget {
-		f := s.lruTail
-		if f == nil {
-			return // everything pinned; cannot evict further
+	published := p.published.Load()
+	f := s.lruTail
+	for f != nil && s.bytes > s.budget {
+		prev := f.lruPrev
+		if f.install > published {
+			f = prev
+			continue
 		}
 		if f.dirty {
 			if err := p.writeBackLocked(s, f); err != nil {
-				// Keep the frame; skip eviction this round to avoid
-				// data loss. Promote it so we do not spin on it.
-				s.lruRemove(f)
-				s.lruPushFront(f)
-				return
+				// Keep the frame; skip it this round to avoid data loss
+				// (the error will resurface on Flush).
+				f = prev
+				continue
 			}
 		}
 		s.lruRemove(f)
 		delete(s.resident, f.n.ID)
 		s.bytes -= f.bytes
 		s.stats.Evictions++
+		f = prev
 	}
 }
 
@@ -363,7 +632,8 @@ func (p *Pool) writeBackLocked(s *shard, f *frame) error {
 }
 
 // Flush writes every dirty resident node back to the store, shard by
-// shard.
+// shard. The tree calls it only between write brackets, so every dirty
+// frame is a published version.
 func (p *Pool) Flush() error {
 	for i := range p.shards {
 		s := &p.shards[i]
@@ -381,12 +651,15 @@ func (p *Pool) Flush() error {
 	return nil
 }
 
-// Invalidate drops every unpinned frame — clean and dirty alike — without
-// writing anything back. It exists for the failed-commit path: when a
-// store commit fails, the durable image is some earlier commit boundary,
-// so resident nodes (and especially un-flushed dirty ones) no longer
-// describe it and must not be served or written back later. Pinned frames
-// cannot be dropped; Invalidate reports how many remain resident.
+// Invalidate drops every unpinned resident frame — clean and dirty alike —
+// without writing anything back. It exists for the failed-commit path:
+// when a store commit fails, the durable image is some earlier commit
+// boundary, so resident nodes (and especially un-flushed dirty ones) no
+// longer describe it and must not be served or written back later. Pinned
+// frames cannot be dropped; Invalidate reports how many remain resident.
+// Retained version chains are kept: they are memory-only state serving
+// in-flight snapshots, and the broken store latches every later read
+// anyway.
 func (p *Pool) Invalidate() int {
 	pinned := 0
 	for i := range p.shards {
@@ -408,25 +681,193 @@ func (p *Pool) Invalidate() int {
 	return pinned
 }
 
-// Free drops the node from the pool and releases its page in the store.
-// The node must be unpinned.
+// Free releases a page. Outside a write bracket (construction, recovery)
+// the frame is dropped and the store page freed immediately. Inside a
+// bracket the release is deferred so snapshots pinned below the bracket
+// keep reading the page: the published head (if any) is retired into the
+// version chain, the page is marked dead at the bracket epoch, and the
+// store-level free runs in a later Collect once every snapshot that could
+// see the page has been released. The node must be unpinned.
 func (p *Pool) Free(id page.ID) error {
 	s := p.shardFor(id)
 	s.mu.Lock()
-	if f, ok := s.resident[id]; ok {
-		if f.pins > 0 {
-			s.mu.Unlock()
-			return ErrPinned
+	f, ok := s.resident[id]
+	if ok && f.pins > 0 {
+		s.mu.Unlock()
+		return ErrPinned
+	}
+	if !p.inBracket() {
+		if ok {
+			if f.inLRU {
+				s.lruRemove(f)
+			}
+			delete(s.resident, id)
+			s.bytes -= f.bytes
 		}
+		s.mu.Unlock()
+		return p.store.Free(id)
+	}
+	we := p.writeEpoch
+	if ok {
 		if f.inLRU {
 			s.lruRemove(f)
 		}
 		delete(s.resident, id)
 		s.bytes -= f.bytes
+		if f.install == we {
+			// The head was created inside this bracket; no snapshot can
+			// see it. If it cloned a published pre-image, the chain entry
+			// keeps serving old snapshots; if it was a fresh allocation,
+			// nothing references the page and the store free is immediate.
+			if pv, chained := s.old[id]; !chained || pv.frames[0].superseded != we {
+				s.mu.Unlock()
+				return p.store.Free(id)
+			}
+		} else {
+			p.retireLocked(s, id, f, we)
+		}
 	}
+	pv, chained := s.old[id]
+	if !chained {
+		pv = &pageVersions{}
+		s.old[id] = pv
+	}
+	pv.deadAt = we
 	s.mu.Unlock()
-	return p.store.Free(id)
+	return nil
 }
+
+// Rollback aborts the open write bracket: every frame installed at the
+// bracket epoch is dropped, pre-images retired under the bracket are
+// reinstated as resident heads, and page frees deferred by the bracket are
+// undone. Fresh pages allocated by the bracket are freed in the store.
+// After Rollback the pool describes exactly the published state. Only the
+// tree's single writer may call this, under its write lock.
+func (p *Pool) Rollback() error {
+	if !p.inBracket() {
+		return nil
+	}
+	we := p.writeEpoch
+	var errs []error
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		// Undo deferred frees first so their pre-images are back in the
+		// chains for the head-restoration pass below.
+		for _, pv := range s.old {
+			if pv.deadAt == we {
+				pv.deadAt = 0
+			}
+		}
+		for id, f := range s.resident {
+			if f.install != we {
+				continue
+			}
+			if f.inLRU {
+				s.lruRemove(f)
+			}
+			delete(s.resident, id)
+			s.bytes -= f.bytes
+			// An error-path frame may still be pinned (the op bailed out
+			// mid-descent); dropping it is exactly the point of rollback.
+			if pv, ok := s.old[id]; ok && len(pv.frames) > 0 && pv.frames[0].superseded == we {
+				pre := pv.frames[0]
+				pv.frames = pv.frames[1:]
+				s.retainedBytes -= pre.bytes
+				p.retained.Add(-1)
+				if len(pv.frames) == 0 && pv.deadAt == 0 {
+					delete(s.old, id)
+				}
+				pre.superseded = 0
+				pre.pins = 0
+				s.resident[id] = pre
+				s.bytes += pre.bytes
+				s.lruPushFront(pre)
+			} else {
+				// Fresh allocation of the aborted bracket.
+				if err := p.store.Free(id); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+		// A page both CoW'd (or freed) and whose clone was already dropped
+		// by Free inside the bracket: restore the pre-image head.
+		for id, pv := range s.old {
+			if _, ok := s.resident[id]; ok {
+				continue
+			}
+			if len(pv.frames) > 0 && pv.frames[0].superseded == we {
+				pre := pv.frames[0]
+				pv.frames = pv.frames[1:]
+				s.retainedBytes -= pre.bytes
+				p.retained.Add(-1)
+				if len(pv.frames) == 0 && pv.deadAt == 0 {
+					delete(s.old, id)
+				}
+				pre.superseded = 0
+				pre.pins = 0
+				s.resident[id] = pre
+				s.bytes += pre.bytes
+				s.lruPushFront(pre)
+			}
+		}
+		p.evictLocked(s)
+		s.mu.Unlock()
+	}
+	p.writeEpoch = p.published.Load()
+	return errors.Join(errs...)
+}
+
+// Collect reclaims version chain entries whose supersession epoch is at or
+// below min — the smallest epoch any registered snapshot is pinned at (or
+// the published epoch when nothing is pinned). When freePages is set,
+// pages whose deferred free has drained (deadAt <= min) are released in
+// the store; reader-triggered collections pass false so store interaction
+// stays on writer paths. min must not exceed the published epoch.
+func (p *Pool) Collect(min uint64, freePages bool) error {
+	var errs []error
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for id, pv := range s.old {
+			kept := pv.frames[:0]
+			for _, f := range pv.frames {
+				if f.superseded > min {
+					kept = append(kept, f)
+					continue
+				}
+				s.retainedBytes -= f.bytes
+				s.stats.Collected++
+				p.retained.Add(-1)
+			}
+			for j := len(kept); j < len(pv.frames); j++ {
+				pv.frames[j] = nil
+			}
+			pv.frames = kept
+			if len(pv.frames) > 0 {
+				continue
+			}
+			if pv.deadAt == 0 {
+				delete(s.old, id)
+				continue
+			}
+			if pv.deadAt <= min && freePages {
+				if err := p.store.Free(id); err != nil {
+					errs = append(errs, err)
+					continue
+				}
+				s.stats.DeferredFrees++
+				delete(s.old, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// RetainedVersions reports the number of superseded version frames
+// currently retained across all shards, without taking shard locks.
+func (p *Pool) RetainedVersions() int { return int(p.retained.Load()) }
 
 // PageBytes reports the on-page size of a resident or stored node.
 func (p *Pool) PageBytes(id page.ID) (int, error) {
@@ -441,7 +882,7 @@ func (p *Pool) PageBytes(id page.ID) (int, error) {
 }
 
 // Resident reports the number of nodes currently in memory across all
-// shards.
+// shards (resident heads; retained versions are not counted).
 func (p *Pool) Resident() int {
 	total := 0
 	for i := range p.shards {
@@ -461,7 +902,13 @@ func (p *Pool) Stats() Stats {
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
-		out.add(s.stats)
+		st := s.stats
+		st.RetainedBytes = uint64(s.retainedBytes)
+		st.Retained = 0
+		for _, pv := range s.old {
+			st.Retained += uint64(len(pv.frames))
+		}
+		out.add(st)
 		s.mu.Unlock()
 	}
 	return out
@@ -475,6 +922,10 @@ func (p *Pool) ShardStats() []Stats {
 		s := &p.shards[i]
 		s.mu.Lock()
 		out[i] = s.stats
+		out[i].RetainedBytes = uint64(s.retainedBytes)
+		for _, pv := range s.old {
+			out[i].Retained += uint64(len(pv.frames))
+		}
 		s.mu.Unlock()
 	}
 	return out

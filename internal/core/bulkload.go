@@ -42,6 +42,12 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 		}
 	}
 
+	// The load runs as one write bracket: the packed structure becomes
+	// visible to snapshots in a single epoch bump at the end, and the
+	// empty root's page is reclaimed through the same deferred-free path
+	// as any other operation's.
+	t.beginOp()
+
 	perLeaf := int(float64(t.leafCap()) * fill)
 	if perLeaf < 1 {
 		perLeaf = 1
@@ -123,6 +129,9 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 		}
 	}
 	if err := t.pool.Free(oldRoot); err != nil {
+		return nil, err
+	}
+	if err := t.publishOp(); err != nil {
 		return nil, err
 	}
 	return t, nil

@@ -87,6 +87,13 @@ func (t *Tree) coalesceScan(nid page.ID, candidates map[page.ID]bool, o *op) err
 	}
 
 	// n is a leaf parent: look for a mergeable pair involving a candidate.
+	// Re-fetch for mutation (copy-on-write): the read-only pin above must
+	// be released before the page is cloned into the write bracket.
+	t.done(nid, false)
+	n, err = t.fetchMut(nid, o.accesses)
+	if err != nil {
+		return err
+	}
 	dirty := false
 	for i := range n.Branches {
 		if !candidates[n.Branches[i].Child] {
@@ -173,11 +180,11 @@ func regionsAdjacent(a, b geom.Rect) bool {
 func (t *Tree) mergeLeaves(n *node.Node, i, j int, o *op) error {
 	keepID := n.Branches[i].Child
 	dropID := n.Branches[j].Child
-	keep, err := t.fetch(keepID, o.accesses)
+	keep, err := t.fetchMut(keepID, o.accesses)
 	if err != nil {
 		return err
 	}
-	drop, err := t.fetch(dropID, o.accesses)
+	drop, err := t.fetchMut(dropID, o.accesses)
 	if err != nil {
 		t.done(keepID, false)
 		return err

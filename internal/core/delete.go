@@ -31,7 +31,12 @@ func (t *Tree) Delete(id node.RecordID, hint geom.Rect) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.deleteMatching(hint, func(rec node.Record) bool { return rec.ID == id })
+	t.beginOp()
+	n, err := t.deleteMatching(hint, func(rec node.Record) bool { return rec.ID == id })
+	if err != nil {
+		return 0, t.abortOp(err)
+	}
+	return n, t.publishOp()
 }
 
 // DeleteWhere removes every logical record that has a stored portion
@@ -44,8 +49,10 @@ func (t *Tree) DeleteWhere(query geom.Rect, pred func(Entry) bool) (int, error) 
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginOp()
 
-	// Pass 1: collect matching IDs.
+	// Pass 1: collect matching IDs (read-only; pins released before the
+	// mutating pass so copy-on-write never meets a pinned head).
 	ids := make(map[node.RecordID]bool)
 	stack := []page.ID{t.root}
 	for len(stack) > 0 {
@@ -53,7 +60,7 @@ func (t *Tree) DeleteWhere(query geom.Rect, pred func(Entry) bool) (int, error) 
 		stack = stack[:len(stack)-1]
 		n, err := t.fetch(nid, &t.stats.InsertNodeAccesses)
 		if err != nil {
-			return 0, err
+			return 0, t.abortOp(err)
 		}
 		for i := range n.Records {
 			rec := n.Records[i]
@@ -70,19 +77,23 @@ func (t *Tree) DeleteWhere(query geom.Rect, pred func(Entry) bool) (int, error) 
 		t.done(nid, false)
 	}
 	if len(ids) == 0 {
-		return 0, nil
+		return 0, t.publishOp()
 	}
 
 	// Pass 2: remove every portion of every matched ID anywhere in the
 	// tree (cut portions may live outside query).
 	cover, err := t.rootCover()
 	if err != nil {
-		return 0, err
+		return 0, t.abortOp(err)
 	}
 	if cover.IsEmptyMarker() {
-		return 0, nil
+		return 0, t.publishOp()
 	}
-	return t.deleteMatching(cover, func(rec node.Record) bool { return ids[rec.ID] })
+	n, err := t.deleteMatching(cover, func(rec node.Record) bool { return ids[rec.ID] })
+	if err != nil {
+		return 0, t.abortOp(err)
+	}
+	return n, t.publishOp()
 }
 
 // deleteMatching removes every record portion intersecting hint for which
@@ -150,7 +161,7 @@ func (t *Tree) deleteMatching(hint geom.Rect, match func(node.Record) bool) (int
 // dismantled (its surviving entries moved to orphans and its page freed by
 // the caller's bookkeeping here).
 func (t *Tree) deleteRec(nid page.ID, hint geom.Rect, match func(node.Record) bool, o *op, removed map[node.RecordID]int, orphans *[]orphan) (geom.Rect, bool, error) {
-	n, err := t.fetch(nid, o.accesses)
+	n, err := t.fetchMut(nid, o.accesses)
 	if err != nil {
 		return geom.Rect{}, false, err
 	}
@@ -297,13 +308,13 @@ func (o *op) insertBranch(b node.Branch, level int) error {
 		}
 	}
 	var path []pathStep
-	cur, err := t.fetch(t.root, o.accesses)
+	cur, err := t.fetchMut(t.root, o.accesses)
 	if err != nil {
 		return err
 	}
 	for cur.Level > level+1 {
 		bi := chooseBranch(cur, b.Rect)
-		child, err := t.fetch(cur.Branches[bi].Child, o.accesses)
+		child, err := t.fetchMut(cur.Branches[bi].Child, o.accesses)
 		if err != nil {
 			t.done(cur.ID, true)
 			for i := len(path) - 1; i >= 0; i-- {
@@ -347,7 +358,7 @@ func (t *Tree) growRootForBranch(o *op) error {
 // through the op queue). The caller must hold the write lock on t.mu.
 func (t *Tree) collapseRoot(o *op) error {
 	for {
-		n, err := t.fetch(t.root, o.accesses)
+		n, err := t.fetchMut(t.root, o.accesses)
 		if err != nil {
 			return err
 		}

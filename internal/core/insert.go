@@ -54,12 +54,13 @@ func (t *Tree) Insert(rect geom.Rect, id node.RecordID) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginOp()
 	o := t.newOp(&t.stats.InsertNodeAccesses)
 	if err := o.insert(rect.Clone(), id, 0); err != nil {
-		return err
+		return t.abortOp(err)
 	}
 	if err := o.drain(); err != nil {
-		return err
+		return t.abortOp(err)
 	}
 	t.size++
 	t.stats.Inserts++
@@ -73,14 +74,14 @@ func (t *Tree) Insert(rect geom.Rect, id node.RecordID) error {
 		if t.sinceCoalesce >= t.cfg.CoalesceEvery {
 			t.sinceCoalesce = 0
 			if err := t.coalesce(o); err != nil {
-				return err
+				return t.abortOp(err)
 			}
 			if err := o.drain(); err != nil {
-				return err
+				return t.abortOp(err)
 			}
 		}
 	}
-	return nil
+	return t.publishOp()
 }
 
 // spansQualify reports whether rec qualifies as a spanning record for the
@@ -155,7 +156,7 @@ func (o *op) insert(rect geom.Rect, id node.RecordID, attempts int) error {
 		return err
 	}
 
-	cur, err := t.fetch(t.root, o.accesses)
+	cur, err := t.fetchMut(t.root, o.accesses)
 	if err != nil {
 		return err
 	}
@@ -204,7 +205,7 @@ func (o *op) insert(rect geom.Rect, id node.RecordID, attempts int) error {
 		}
 		bi := chooseBranch(cur, rect)
 		region = cur.Branches[bi].Rect.Clone()
-		child, err := t.fetch(cur.Branches[bi].Child, o.accesses)
+		child, err := t.fetchMut(cur.Branches[bi].Child, o.accesses)
 		if err != nil {
 			return fail(cur, err)
 		}
@@ -374,7 +375,7 @@ func (o *op) drain() error {
 // or removed and queued for reinsertion (the paper's demotion).
 func (o *op) revalidateNode(id page.ID) error {
 	t := o.t
-	n, err := t.fetch(id, o.accesses)
+	n, err := t.fetchMut(id, o.accesses)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return nil // node freed by a concurrent structural change in this op

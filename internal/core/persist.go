@@ -166,5 +166,6 @@ func Open(cfg Config, st store.Store) (*Tree, error) {
 	if level != t.height-1 {
 		return nil, fmt.Errorf("core: root level %d does not match height %d", level, t.height)
 	}
+	t.publishState(1)
 	return t, nil
 }

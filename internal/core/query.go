@@ -8,29 +8,33 @@ import (
 )
 
 // queryCtx is the per-query scratch state of the read path: the traversal
-// stack, the pin cache, the dedup set, and the result arena. Contexts are
-// recycled through Tree.qctxPool so a steady-state query performs no heap
-// allocation: every buffer is truncated (not freed) on release and the
-// maps retain their buckets across the clear idiom. Batch workers draw
-// from the same pool, so N concurrent workers settle on N contexts.
+// stack, the node cache, the dedup set, the result arena, and the snapshot
+// registration slot. Contexts are recycled through Tree.qctxPool so a
+// steady-state query performs no heap allocation: every buffer is
+// truncated (not freed) on release and the maps retain their buckets
+// across the clear idiom. Batch workers draw from the same pool, so N
+// concurrent workers settle on N contexts.
 //
-// A context is single-query state: it is acquired after t.mu is taken and
-// released (returning its pins) before t.mu is dropped.
+// A context is single-query state. Direct Tree queries register the
+// context's own snapshot slot for the query's duration (acquireRead);
+// queries through an explicit View run under the view's registration and
+// leave the slot free.
 type queryCtx struct {
 	// stack is the DFS work list of pages still to visit.
 	stack []page.ID
 
-	// pinned caches the node pointer for every page this query fetched,
-	// each pinned exactly once; revisits are served from the cache with
-	// no pool interaction. pinIDs remembers the insertion order so
-	// release can return all pins in one buffer.UnpinBatch call — one
-	// shard-lock acquisition per run of same-shard pages rather than one
-	// unpin round trip per node visit. Holding pins for the whole query
-	// also keeps every visited node's rect storage alive, which is what
-	// lets Search collect view entries and defer copying until the
-	// final materialization.
-	pinned map[page.ID]*node.Node
-	pinIDs []page.ID
+	// nodes caches the node pointer for every page this query resolved,
+	// so revisits skip the pool's shard locks. Nothing is pinned: the
+	// cached versions are immutable and the registered snapshot epoch
+	// keeps them reachable.
+	nodes   map[page.ID]*node.Node
+	nodeIDs []page.ID
+
+	// epoch is the snapshot epoch every fetch of this query resolves at,
+	// and slot is the context's own registry cell (allocated once,
+	// registered only for direct queries).
+	epoch uint64
+	slot  *snapSlot
 
 	// Dedup set keyed by RecordID: a bitmap for small IDs with a map
 	// spilling the rest. touched lists the dirty bitmap words so reset
@@ -54,15 +58,14 @@ const dedupBitmapWords = 1 << 14
 
 func newQueryCtx() *queryCtx {
 	return &queryCtx{
-		pinned:   make(map[page.ID]*node.Node),
+		nodes:    make(map[page.ID]*node.Node),
 		over:     make(map[node.RecordID]struct{}),
 		coverOff: make(map[node.RecordID]int),
 	}
 }
 
-// getQctx returns a recycled (or fresh) query context. The caller must
-// hold t.mu and must hand the context back through releaseQctx before
-// releasing the lock.
+// getQctx returns a recycled (or fresh) query context. No lock is needed:
+// the context must be handed back through releaseQctx when the query ends.
 func (t *Tree) getQctx() *queryCtx {
 	if v := t.qctxPool.Get(); v != nil {
 		return v.(*queryCtx)
@@ -70,46 +73,56 @@ func (t *Tree) getQctx() *queryCtx {
 	return newQueryCtx()
 }
 
-// releaseQctx returns every pin the query acquired in one batch, resets
-// the context, and recycles it. The caller must still hold t.mu: pins
-// must never outlive the lock (writers Free pages under the write lock
-// and a stale pin would make that fail).
-//
-//seglint:allow nodepanic — an unpin failure here is a pin-discipline bug, exactly as in Tree.done
+// getQctxAt returns a context resolving fetches at the given snapshot
+// epoch without registering it (the caller's View holds the registration).
+func (t *Tree) getQctxAt(epoch uint64) *queryCtx {
+	qc := t.getQctx()
+	qc.epoch = epoch
+	return qc
+}
+
+// releaseQctx unregisters the context's snapshot slot (if this query
+// registered it), resets the context, recycles it, and gives the releasing
+// reader a chance to sweep version garbage its release may have unpinned.
 func (t *Tree) releaseQctx(qc *queryCtx) {
-	if err := t.pool.UnpinBatch(qc.pinIDs); err != nil {
-		panic(err)
+	registered := qc.slot != nil && qc.slot.e.Load() != 0
+	if registered {
+		qc.slot.e.Store(0)
 	}
-	for id := range qc.pinned {
-		delete(qc.pinned, id)
+	for _, id := range qc.nodeIDs {
+		delete(qc.nodes, id)
 	}
-	qc.pinIDs = qc.pinIDs[:0]
+	qc.nodeIDs = qc.nodeIDs[:0]
 	qc.stack = qc.stack[:0]
 	qc.resetDedup()
 	qc.entries = qc.entries[:0]
 	qc.resetCovers()
+	qc.epoch = 0
 	t.qctxPool.Put(qc)
+	if registered {
+		t.maybeCollect()
+	}
 }
 
-// fetchCached pins and returns a node, charging one logical node access
-// to the given counter. The first visit of a page in this query goes to
-// the buffer pool; revisits hit the context's pin cache without touching
-// the pool's shard locks. The caller must hold t.mu.
+// fetchCached resolves a node at the context's snapshot epoch, charging
+// one logical node access to the given counter. The first visit of a page
+// in this query goes to the buffer pool; revisits hit the context's cache
+// without touching the pool's shard locks. No tree-level lock is held.
 //
 //seglint:hotpath
 func (t *Tree) fetchCached(qc *queryCtx, id page.ID, accesses *uint64) (*node.Node, error) {
 	if accesses != nil {
 		atomic.AddUint64(accesses, 1)
 	}
-	if n, ok := qc.pinned[id]; ok {
+	if n, ok := qc.nodes[id]; ok {
 		return n, nil
 	}
-	n, err := t.fetch(id, nil)
+	n, err := t.pool.GetVersion(id, qc.epoch)
 	if err != nil {
 		return nil, err
 	}
-	qc.pinned[id] = n
-	qc.pinIDs = append(qc.pinIDs, id)
+	qc.nodes[id] = n
+	qc.nodeIDs = append(qc.nodeIDs, id)
 	return n, nil
 }
 

@@ -26,17 +26,28 @@ type Entry struct {
 // that retains the rectangle past its return must Clone it. fn returning
 // false stops the search early. The visit order is unspecified.
 //
+// The query runs against the committed state at call time with no
+// tree-level lock: concurrent writers never block it, and it observes
+// either all of a concurrent operation or none of it.
+//
 //seglint:hotpath
 func (t *Tree) SearchFunc(query geom.Rect, fn func(Entry) bool) error {
 	if err := t.validateRect(query); err != nil {
 		return err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	qc := t.getQctx()
 	defer t.releaseQctx(qc)
+	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	qc.stack = append(qc.stack, t.root)
+	return t.searchFunc(st, qc, query, fn)
+}
+
+// searchFunc is the traversal behind SearchFunc, running against one
+// pinned snapshot state.
+//
+//seglint:hotpath
+func (t *Tree) searchFunc(st *treeState, qc *queryCtx, query geom.Rect, fn func(Entry) bool) error {
+	qc.stack = append(qc.stack, st.root)
 	for len(qc.stack) > 0 {
 		id := qc.stack[len(qc.stack)-1]
 		qc.stack = qc.stack[:len(qc.stack)-1]
@@ -67,19 +78,18 @@ func (t *Tree) SearchFunc(query geom.Rect, fn func(Entry) bool) error {
 // once, with the portion rectangle that was found first). The result is
 // owned by the caller: all rectangles are copied into one backing array
 // shared by the returned slice, so a non-empty result costs exactly two
-// allocations.
+// allocations. No tree-level lock is acquired.
 //
 //seglint:hotpath
 func (t *Tree) Search(query geom.Rect) ([]Entry, error) {
 	if err := t.validateRect(query); err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	qc := t.getQctx()
 	defer t.releaseQctx(qc)
+	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	if err := t.collectDedup(qc, query); err != nil {
+	if err := t.collectDedup(st, qc, query); err != nil {
 		return nil, err
 	}
 	return materialize(qc.entries, t.cfg.Dims), nil
@@ -87,14 +97,14 @@ func (t *Tree) Search(query geom.Rect) ([]Entry, error) {
 
 // collectDedup runs the traversal for Search, appending one view entry per
 // logical record intersecting query to qc.entries. Views stay valid until
-// the context is released because every visited node remains pinned. When
-// the tree holds no cut portions no record can appear twice, so the dedup
-// set is skipped entirely. The caller must hold t.mu.
+// the context is released because the snapshot registration keeps every
+// resolved version reachable. When the snapshot holds no cut portions no
+// record can appear twice, so the dedup set is skipped entirely.
 //
 //seglint:hotpath
-func (t *Tree) collectDedup(qc *queryCtx, query geom.Rect) error {
-	dedup := t.cutPortions > 0
-	qc.stack = append(qc.stack, t.root)
+func (t *Tree) collectDedup(st *treeState, qc *queryCtx, query geom.Rect) error {
+	dedup := st.cutPortions > 0
+	qc.stack = append(qc.stack, st.root)
 	for len(qc.stack) > 0 {
 		id := qc.stack[len(qc.stack)-1]
 		qc.stack = qc.stack[:len(qc.stack)-1]
@@ -137,21 +147,29 @@ func materialize(views []Entry, dims int) []Entry {
 	return out
 }
 
-// Count returns the number of logical records intersecting query.
+// Count returns the number of logical records intersecting query. No
+// tree-level lock is acquired.
 //
 //seglint:hotpath
 func (t *Tree) Count(query geom.Rect) (int, error) {
 	if err := t.validateRect(query); err != nil {
 		return 0, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	qc := t.getQctx()
 	defer t.releaseQctx(qc)
+	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	dedup := t.cutPortions > 0
+	return t.countQuery(st, qc, query)
+}
+
+// countQuery is the traversal behind Count, running against one pinned
+// snapshot state.
+//
+//seglint:hotpath
+func (t *Tree) countQuery(st *treeState, qc *queryCtx, query geom.Rect) (int, error) {
+	dedup := st.cutPortions > 0
 	count := 0
-	qc.stack = append(qc.stack, t.root)
+	qc.stack = append(qc.stack, st.root)
 	for len(qc.stack) > 0 {
 		id := qc.stack[len(qc.stack)-1]
 		qc.stack = qc.stack[:len(qc.stack)-1]
@@ -185,36 +203,29 @@ func (t *Tree) Count(query geom.Rect) (int, error) {
 // Intended for structural inspection — e.g. the rule-lock manager uses it
 // to report which rule predicates have been escalated to non-leaf nodes.
 //
-// Unlike the query methods, the walk unpins each node before moving on:
-// a full-tree visit must not hold the whole tree pinned at once.
+// The walk runs against a snapshot: it observes one committed state even
+// while writers commit. Nodes are resolved one at a time without the
+// context cache — a full-tree visit must not hold every node reachable
+// at once.
 func (t *Tree) VisitPortions(fn func(level int, e Entry) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	qc := t.getQctx()
 	defer t.releaseQctx(qc)
-	qc.stack = append(qc.stack, t.root)
+	st := t.acquireRead(qc)
+	qc.stack = append(qc.stack, st.root)
 	for len(qc.stack) > 0 {
 		id := qc.stack[len(qc.stack)-1]
 		qc.stack = qc.stack[:len(qc.stack)-1]
-		n, err := t.fetch(id, nil)
+		n, err := t.pool.GetVersion(id, qc.epoch)
 		if err != nil {
 			return err
 		}
-		stop := false
 		for i := range n.Records {
 			if !fn(n.Level, Entry{Rect: n.Records[i].Rect, ID: n.Records[i].ID}) {
-				stop = true
-				break
+				return nil
 			}
 		}
-		if !stop {
-			for i := range n.Branches {
-				qc.stack = append(qc.stack, n.Branches[i].Child)
-			}
-		}
-		t.done(id, false)
-		if stop {
-			return nil
+		for i := range n.Branches {
+			qc.stack = append(qc.stack, n.Branches[i].Child)
 		}
 	}
 	return nil
@@ -264,25 +275,27 @@ func (t *Tree) SearchWithin(query geom.Rect) ([]Entry, error) {
 // completes. The Entry rectangle passed to fn is the union of the
 // record's portions that intersect query; it is a view into query-scoped
 // memory, valid only during the callback. fn returning false stops the
-// reporting early.
-//
-// Unioning the intersecting portions is sufficient: any record containing
-// query has every point of query covered, and the portions tile the
-// original exactly, so the union of intersecting portions contains query
-// if and only if the record does.
+// reporting early. No tree-level lock is acquired.
 //
 //seglint:hotpath
 func (t *Tree) SearchContainingFunc(query geom.Rect, fn func(Entry) bool) error {
 	if err := t.validateRect(query); err != nil {
 		return err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	qc := t.getQctx()
 	defer t.releaseQctx(qc)
+	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
+	return t.containingFunc(st, qc, query, fn)
+}
+
+// containingFunc is the traversal behind SearchContainingFunc, running
+// against one pinned snapshot state.
+//
+//seglint:hotpath
+func (t *Tree) containingFunc(st *treeState, qc *queryCtx, query geom.Rect, fn func(Entry) bool) error {
 	k := t.cfg.Dims
-	qc.stack = append(qc.stack, t.root)
+	qc.stack = append(qc.stack, st.root)
 	for len(qc.stack) > 0 {
 		id := qc.stack[len(qc.stack)-1]
 		qc.stack = qc.stack[:len(qc.stack)-1]
@@ -339,25 +352,5 @@ func (t *Tree) SearchContainingFunc(query geom.Rect, fn func(Entry) bool) error 
 // Entry per record with the union of its stored portions as the
 // rectangle. The result is owned by the caller.
 func (t *Tree) SearchContaining(query geom.Rect) ([]Entry, error) {
-	k := t.cfg.Dims
-	var (
-		out    []Entry
-		floats []float64
-	)
-	err := t.SearchContainingFunc(query, func(e Entry) bool {
-		floats = append(floats, e.Rect.Min...)
-		floats = append(floats, e.Rect.Max...)
-		out = append(out, Entry{ID: e.ID})
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Rect views are installed only now: the appends above may have moved
-	// the backing array.
-	for i := range out {
-		off := i * 2 * k
-		out[i].Rect = geom.Rect{Min: floats[off : off+k : off+k], Max: floats[off+k : off+2*k : off+2*k]}
-	}
-	return out, nil
+	return collectContaining(t.cfg.Dims, t.SearchContainingFunc, query)
 }

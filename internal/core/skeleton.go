@@ -115,8 +115,11 @@ func (t *Tree) BuildSkeleton(est Estimate) error {
 		cutIdx[l] = idx
 	}
 
-	// Build bottom-up. grid holds the node IDs of the current level in
-	// row-major order over the level's per-dim grid.
+	// Build bottom-up, inside one write bracket: a failure rolls every
+	// freshly allocated skeleton page back, and success publishes the
+	// whole hierarchy in a single epoch bump. grid holds the node IDs of
+	// the current level in row-major order over the level's per-dim grid.
+	t.beginOp()
 	free := func(ids []page.ID) {
 		for _, id := range ids {
 			_ = t.pool.Free(id)
@@ -139,7 +142,7 @@ func (t *Tree) BuildSkeleton(est Estimate) error {
 			n, err := t.pool.NewNode(l, t.cfg.Sizes.BytesForLevel(l))
 			if err != nil {
 				free(grid[:cell])
-				return err
+				return t.abortOp(err)
 			}
 			n.Region = region
 			if l == 0 {
@@ -155,7 +158,7 @@ func (t *Tree) BuildSkeleton(est Estimate) error {
 				if err := t.attachChildren(n, coords, l, p, prevP, cutIdx, prevGrid, prevRegions, dims); err != nil {
 					t.done(n.ID, true)
 					free(grid[:cell+1])
-					return err
+					return t.abortOp(err)
 				}
 			}
 			grid[cell] = n.ID
@@ -170,9 +173,9 @@ func (t *Tree) BuildSkeleton(est Estimate) error {
 	t.root = prevGrid[0]
 	t.height = levels
 	if err := t.pool.Free(oldRoot); err != nil {
-		return err
+		return t.abortOp(err)
 	}
-	return nil
+	return t.publishOp()
 }
 
 // attachChildren installs branches on the level-l node at grid coordinates

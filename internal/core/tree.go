@@ -25,18 +25,30 @@ var (
 // BuildSkeleton.
 //
 // A Tree is safe for concurrent use: mutations (Insert, Delete, Flush,
-// Close) serialize behind an exclusive lock, while the read-only
-// operations (Search*, Count, Stab via SearchContaining, VisitPortions,
-// Analyze, CheckInvariants, Stats, Len, Height) run concurrently under a
-// shared lock. The read path performs no tree mutation; the only shared
-// state it touches — atomic access counters and buffer-pool pin/LRU
-// bookkeeping — is its own synchronized domain (the pool is lock-striped
-// by page, so concurrent readers rarely contend).
+// Close) serialize behind an exclusive lock, while queries (Search*,
+// Count, Stab via SearchContaining, VisitPortions, Len, Height) take no
+// tree-level lock at all — each pins an MVCC snapshot of the committed
+// state and traverses immutable page versions, so a committing writer
+// never blocks readers (see snapshot.go for the protocol). The remaining
+// read-only inspection paths (Analyze, CheckInvariants, Stats) still run
+// under the shared lock; they are diagnostics, not the serving path.
 type Tree struct {
 	cfg   Config
 	codec node.Codec
 	store store.Store
 	pool  *buffer.Pool
+
+	// state is the committed tree version queries read: published
+	// atomically at the end of every mutating operation. The plain
+	// fields below are the writer's working copy, valid only under mu.
+	state atomic.Pointer[treeState]
+
+	// snaps registers the epochs of live snapshots for epoch-based GC;
+	// gcMu serializes collectors and gcMin remembers the last epoch
+	// swept so idle releases skip redundant sweeps.
+	snaps snapRegistry
+	gcMu  sync.Mutex
+	gcMin atomic.Uint64
 
 	mu     sync.RWMutex
 	root   page.ID
@@ -103,6 +115,7 @@ func New(cfg Config, st store.Store) (*Tree, error) {
 	if err := t.pool.Unpin(root.ID, true); err != nil {
 		return nil, err
 	}
+	t.publishState(1)
 	return t, nil
 }
 
@@ -115,19 +128,13 @@ func NewInMemory(cfg Config) (*Tree, error) {
 func (t *Tree) Config() Config { return t.cfg }
 
 // Len reports the number of logical records in the index. Records cut into
-// spanning and remnant portions count once.
-func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.size
-}
+// spanning and remnant portions count once. Lock-free: reads the published
+// state.
+func (t *Tree) Len() int { return t.state.Load().size }
 
 // Height reports the number of levels (1 for a single leaf root).
-func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.height
-}
+// Lock-free: reads the published state.
+func (t *Tree) Height() int { return t.state.Load().height }
 
 // NodeCount reports the number of index nodes (pages, excluding the
 // metadata page).
@@ -254,12 +261,29 @@ func (t *Tree) fitsBytes(n *node.Node) bool {
 	return t.codec.UsedBytes(n) <= t.pageBytes(n.Level)
 }
 
-// fetch pins and returns a node, charging one logical node access to the
-// given counter. The counter is updated atomically because searches run
-// under the read lock concurrently. The caller must hold t.mu (or own the
-// tree exclusively, as bulk construction does before publishing it).
+// fetch pins and returns the newest version of a node for read-only use,
+// charging one logical node access to the given counter. The counter is
+// updated atomically because inspection passes run under the read lock
+// concurrently. The caller must hold t.mu (or own the tree exclusively, as
+// bulk construction does before publishing it); inside a write bracket the
+// pin must be released before the same page is fetched for mutation.
 func (t *Tree) fetch(id page.ID, accesses *uint64) (*node.Node, error) {
 	n, err := t.pool.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch %v: %w", id, err)
+	}
+	if accesses != nil {
+		atomic.AddUint64(accesses, 1)
+	}
+	return n, nil
+}
+
+// fetchMut pins and returns a node for mutation inside the current write
+// bracket: the first fetchMut of a page per operation copy-on-writes it,
+// so snapshots pinned before the operation keep reading the pre-image.
+// The caller must hold the write lock on t.mu.
+func (t *Tree) fetchMut(id page.ID, accesses *uint64) (*node.Node, error) {
+	n, err := t.pool.GetMut(id)
 	if err != nil {
 		return nil, fmt.Errorf("core: fetch %v: %w", id, err)
 	}

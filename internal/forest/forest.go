@@ -38,6 +38,8 @@ type Engine interface {
 	CheckInvariants() error
 	Analyze() (*core.Report, error)
 	SetEpoch(uint64)
+	Snapshot() core.View
+	CommitEpoch() uint64
 }
 
 // Shard pairs a shard engine with the store it persists to (nil for

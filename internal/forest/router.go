@@ -142,3 +142,14 @@ func (c *cover) contains(q geom.Rect) bool {
 	defer c.mu.RUnlock()
 	return c.set && c.r.Contains(q)
 }
+
+// snapshot returns a point-in-time copy of the cover for a pinned view
+// (false when nothing was ever inserted).
+func (c *cover) snapshot() (geom.Rect, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.set {
+		return geom.Rect{}, false
+	}
+	return c.r.Clone(), true
+}

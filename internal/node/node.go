@@ -150,3 +150,49 @@ func (n *Node) Clone() *Node {
 	}
 	return c
 }
+
+// CloneCompact returns a deep copy of n whose rectangles all view one flat
+// float backing array. It is the copy-on-write primitive of the buffer
+// pool's page versioning: a writer clones the published node and mutates
+// the clone, so the per-clone cost is a handful of allocations rather than
+// two slices per rectangle as with Clone. The views are capped so an
+// append through any rect cannot spill into its neighbor's storage.
+func (n *Node) CloneCompact() *Node {
+	c := &Node{ID: n.ID, Level: n.Level}
+	k := 0
+	if len(n.Branches) > 0 {
+		k = n.Branches[0].Rect.Dims()
+	} else if len(n.Records) > 0 {
+		k = n.Records[0].Rect.Dims()
+	} else if n.Region.Dims() > 0 {
+		k = n.Region.Dims()
+	}
+	need := 2 * k * (len(n.Branches) + len(n.Records))
+	if n.Region.Dims() > 0 {
+		need += 2 * n.Region.Dims()
+	}
+	if need == 0 {
+		return c
+	}
+	flat := make([]float64, need)
+	off := 0
+	if n.Region.Dims() > 0 {
+		c.Region = n.Region.CopyInto(flat, off)
+		off += 2 * n.Region.Dims()
+	}
+	if len(n.Branches) > 0 {
+		c.Branches = make([]Branch, len(n.Branches))
+		for i, b := range n.Branches {
+			c.Branches[i] = Branch{Rect: b.Rect.CopyInto(flat, off), Child: b.Child}
+			off += 2 * k
+		}
+	}
+	if len(n.Records) > 0 {
+		c.Records = make([]Record, len(n.Records))
+		for i, r := range n.Records {
+			c.Records[i] = Record{Rect: r.Rect.CopyInto(flat, off), ID: r.ID, Span: r.Span}
+			off += 2 * k
+		}
+	}
+	return c
+}

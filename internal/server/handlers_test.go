@@ -270,8 +270,10 @@ func TestHandlerTable(t *testing.T) {
 				if err := json.Unmarshal(body, &resp); err != nil {
 					t.Fatalf("unmarshal: %v", err)
 				}
-				if resp.Applied != 1 || resp.Len != 4 || resp.Epoch != 1 {
-					t.Fatalf("insert response = %+v, want applied 1, len 4, epoch 1", resp)
+				// Epoch is the index's MVCC commit epoch: 3 seed
+				// inserts plus this one.
+				if resp.Applied != 1 || resp.Len != 4 || resp.Epoch != 4 {
+					t.Fatalf("insert response = %+v, want applied 1, len 4, epoch 4", resp)
 				}
 			},
 		},

@@ -31,14 +31,15 @@ type Config struct {
 // built with OwnIndex).
 //
 // A Server is safe for concurrent use: all added state is either atomic
-// (mutation epoch, metrics) or internally locked (result cache); the
-// index's own locking covers the engine.
+// (metrics) or internally locked (result cache); the index's own locking
+// covers the engine. The cache invalidation epoch is the index's own MVCC
+// commit epoch — the same stamp that versions snapshot reads — so the
+// server carries no mutation counter of its own.
 type Server struct {
 	idx   *segidx.Index
 	cache *cache
 	cfg   Config
 
-	epoch     atomic.Uint64 // bumped after every acknowledged mutation
 	mutations atomic.Uint64 // total acknowledged mutation requests
 	started   time.Time
 
@@ -83,8 +84,9 @@ func New(idx *segidx.Index, cfg Config) *Server {
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Epoch returns the current mutation epoch (0 before the first mutation).
-func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+// Epoch returns the index's commit epoch (0 before the first mutation on
+// a fresh index): the stamp the result cache is keyed on.
+func (s *Server) Epoch() uint64 { return s.idx.CommitEpoch() }
 
 // Close flushes the index so every acknowledged mutation is durable. It
 // does not close the index; the owner does that (segidx.Index.Close also
@@ -185,14 +187,17 @@ func marshalEntries(entries []segidx.Entry) ([]byte, error) {
 // cache, computes the misses with runMisses (indexes are positions in
 // keys), and returns the per-query JSON fragments plus the hit count.
 //
-// The epoch is snapshotted once, before any engine work: results computed
-// concurrently with a mutation are stored under the pre-mutation epoch,
-// so the subsequent bump invalidates them (see the cache doc comment).
+// The commit epoch is snapshotted once, before any engine work: results
+// computed concurrently with a mutation are stored under the pre-commit
+// epoch, so the commit's bump invalidates them (see the cache doc
+// comment). The engine bumps the epoch when the mutation commits — before
+// the mutation request is even acknowledged — which only widens the safe
+// margin.
 func (s *Server) serveCachedQueries(
 	keys []string,
 	runMisses func(miss []int) ([][]byte, error),
 ) ([]json.RawMessage, int, uint64, error) {
-	epoch := s.epoch.Load()
+	epoch := s.idx.CommitEpoch()
 	results := make([]json.RawMessage, len(keys))
 	var miss []int
 	for i, k := range keys {
@@ -342,11 +347,10 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, countResponse{Counts: counts, Cached: cached, Epoch: epoch})
 }
 
-// afterMutation bumps the epoch (invalidating the cache) and runs the
-// group-commit flush when configured. Called only after the engine
-// acknowledged the mutation.
+// afterMutation counts the acknowledged mutation and runs the
+// group-commit flush when configured. Cache invalidation needs no action
+// here: the engine bumped its commit epoch when the mutation committed.
 func (s *Server) afterMutation() error {
-	s.epoch.Add(1)
 	n := s.mutations.Add(1)
 	if fe := uint64(s.cfg.FlushEvery); fe > 0 && n%fe == 0 {
 		return s.idx.Flush()
@@ -383,7 +387,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mutationResponse{Applied: 1, Len: s.idx.Len(), Epoch: s.epoch.Load()})
+	writeJSON(w, http.StatusOK, mutationResponse{Applied: 1, Len: s.idx.Len(), Epoch: s.idx.CommitEpoch()})
 }
 
 // handleDelete serves POST /delete: remove one record by ID; the hint
@@ -416,7 +420,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mutationResponse{Applied: n, Len: s.idx.Len(), Epoch: s.epoch.Load()})
+	writeJSON(w, http.StatusOK, mutationResponse{Applied: n, Len: s.idx.Len(), Epoch: s.idx.CommitEpoch()})
 }
 
 // handleBulkload serves POST /bulkload: insert a batch of records through
@@ -448,9 +452,9 @@ func (s *Server) handleBulkload(w http.ResponseWriter, r *http.Request) {
 		recs[i] = rec
 	}
 	if err := s.idx.InsertBatch(r.Context(), recs); err != nil {
-		// Workers may have inserted a prefix before the failure;
-		// invalidate cached results computed against the old state.
-		s.epoch.Add(1)
+		// Workers may have inserted a prefix before the failure; each of
+		// those inserts already bumped the commit epoch, so cached results
+		// computed against the old state are invalid without further action.
 		writeError(w, err)
 		return
 	}
@@ -459,7 +463,7 @@ func (s *Server) handleBulkload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, mutationResponse{
-		Applied: len(recs), Len: s.idx.Len(), Epoch: s.epoch.Load(),
+		Applied: len(recs), Len: s.idx.Len(), Epoch: s.idx.CommitEpoch(),
 	})
 }
 
@@ -496,7 +500,7 @@ type EngineStats struct {
 func (s *Server) snapshotMetrics() Metrics {
 	m := Metrics{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Epoch:         s.epoch.Load(),
+		Epoch:         s.idx.CommitEpoch(),
 		Mutations:     s.mutations.Load(),
 		Cache:         s.cache.stats(),
 		Endpoints: map[string]EndpointStats{

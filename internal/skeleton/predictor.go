@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"segidx/internal/buffer"
 	"segidx/internal/core"
@@ -45,6 +46,12 @@ type Predictor struct {
 	buf   []buffered
 	epoch uint64     // forest flush epoch to stamp the tree with at build
 	tree  *core.Tree // nil until the skeleton is built
+
+	// muts counts mutating operations for CommitEpoch: a monotonic stamp
+	// that changes whenever the logical contents may have changed. It is
+	// bumped before the operation runs, so a cache keyed on it can only
+	// err toward invalidation, never staleness.
+	muts atomic.Uint64
 }
 
 type buffered struct {
@@ -112,6 +119,7 @@ func (p *Predictor) Tree() *core.Tree { return p.built() }
 
 // Insert adds a record, building the skeleton once the sample is complete.
 func (p *Predictor) Insert(rect geom.Rect, id node.RecordID) error {
+	p.muts.Add(1)
 	if t := p.built(); t != nil {
 		return t.Insert(rect, id)
 	}
@@ -351,6 +359,7 @@ func (p *Predictor) Count(query geom.Rect) (int, error) {
 
 // Delete removes the record with the given ID.
 func (p *Predictor) Delete(id node.RecordID, hint geom.Rect) (int, error) {
+	p.muts.Add(1)
 	p.mu.Lock()
 	if p.tree != nil {
 		t := p.tree
@@ -358,11 +367,21 @@ func (p *Predictor) Delete(id node.RecordID, hint geom.Rect) (int, error) {
 		return t.Delete(id, hint)
 	}
 	defer p.mu.Unlock()
-	for i := range p.buf {
-		if p.buf[i].id == id && p.buf[i].rect.Intersects(hint) {
-			p.buf = append(p.buf[:i], p.buf[i+1:]...)
-			return 1, nil
+	// A reused ID extends the logical record with extra buffered portions;
+	// Delete must drop every one intersecting the hint, matching a built
+	// tree's whole-record semantics.
+	kept := p.buf[:0]
+	hit := false
+	for _, b := range p.buf {
+		if b.id == id && b.rect.Intersects(hint) {
+			hit = true
+			continue
 		}
+		kept = append(kept, b)
+	}
+	p.buf = kept
+	if hit {
+		return 1, nil
 	}
 	return 0, nil
 }
@@ -370,6 +389,7 @@ func (p *Predictor) Delete(id node.RecordID, hint geom.Rect) (int, error) {
 // DeleteWhere removes every buffered or indexed record intersecting query
 // and satisfying pred.
 func (p *Predictor) DeleteWhere(query geom.Rect, pred func(core.Entry) bool) (int, error) {
+	p.muts.Add(1)
 	p.mu.Lock()
 	if p.tree != nil {
 		t := p.tree
@@ -454,6 +474,133 @@ func (p *Predictor) CheckInvariants() error {
 	}
 	return nil
 }
+
+// CommitEpoch reports a monotonic mutation stamp: it increases on every
+// Insert/Delete/DeleteWhere (successful or not) and is stable while the
+// contents are unchanged. The scale differs from core.Tree.CommitEpoch —
+// buffered-phase mutations count here even though the tree does not exist
+// yet — but the contract a result cache needs (changes on mutation, stable
+// otherwise) holds across the buffering-to-built transition.
+func (p *Predictor) CommitEpoch() uint64 { return p.muts.Load() }
+
+// Snapshot pins an immutable view of the predictor's contents. Once the
+// skeleton is built this is the tree's MVCC snapshot (lock-free reads,
+// copy-on-write isolation); while buffering it is a point-in-time copy of
+// the sample buffer. Either way the view observes no subsequent mutations
+// and must be Released.
+func (p *Predictor) Snapshot() core.View {
+	p.mu.RLock()
+	if p.tree != nil {
+		t := p.tree
+		p.mu.RUnlock()
+		return t.Snapshot()
+	}
+	v := &bufView{dims: p.cfg.Dims, epoch: p.muts.Load()}
+	v.entries = make([]core.Entry, len(p.buf))
+	for i, b := range p.buf {
+		v.entries[i] = core.Entry{Rect: b.rect.Clone(), ID: b.id}
+	}
+	p.mu.RUnlock()
+	return v
+}
+
+// bufView is a static snapshot of the buffering-phase sample: a deep copy
+// of the buffered records taken under the predictor lock. It needs no
+// registry pin — the copy is self-contained — so Release only poisons the
+// handle.
+type bufView struct {
+	dims     int
+	epoch    uint64
+	entries  []core.Entry
+	released atomic.Bool
+}
+
+func (v *bufView) check(query geom.Rect) error {
+	if v.released.Load() {
+		return core.ErrSnapshotReleased
+	}
+	if !query.Valid() || query.Dims() != v.dims {
+		return core.ErrBadRect
+	}
+	return nil
+}
+
+// Search implements core.View over the buffered copy.
+func (v *bufView) Search(query geom.Rect) ([]core.Entry, error) {
+	if err := v.check(query); err != nil {
+		return nil, err
+	}
+	var out []core.Entry
+	for _, e := range v.entries {
+		if e.Rect.Intersects(query) {
+			out = append(out, core.Entry{Rect: e.Rect.Clone(), ID: e.ID})
+		}
+	}
+	return out, nil
+}
+
+// SearchFunc implements core.View over the buffered copy.
+func (v *bufView) SearchFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	if err := v.check(query); err != nil {
+		return err
+	}
+	for _, e := range v.entries {
+		if e.Rect.Intersects(query) && !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SearchContaining implements core.View over the buffered copy.
+func (v *bufView) SearchContaining(query geom.Rect) ([]core.Entry, error) {
+	if err := v.check(query); err != nil {
+		return nil, err
+	}
+	var out []core.Entry
+	for _, e := range v.entries {
+		if e.Rect.Contains(query) {
+			out = append(out, core.Entry{Rect: e.Rect.Clone(), ID: e.ID})
+		}
+	}
+	return out, nil
+}
+
+// SearchContainingFunc implements core.View over the buffered copy.
+func (v *bufView) SearchContainingFunc(query geom.Rect, fn func(core.Entry) bool) error {
+	if err := v.check(query); err != nil {
+		return err
+	}
+	for _, e := range v.entries {
+		if e.Rect.Contains(query) && !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count implements core.View over the buffered copy.
+func (v *bufView) Count(query geom.Rect) (int, error) {
+	if err := v.check(query); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range v.entries {
+		if e.Rect.Intersects(query) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Len implements core.View.
+func (v *bufView) Len() int { return len(v.entries) }
+
+// Epoch implements core.View (the predictor's mutation stamp at pin time).
+func (v *bufView) Epoch() uint64 { return v.epoch }
+
+// Release implements core.View. Idempotent.
+func (v *bufView) Release() { v.released.Store(true) }
 
 // Analyze reports the structure of the underlying tree.
 func (p *Predictor) Analyze() (*core.Report, error) {

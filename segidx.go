@@ -81,16 +81,20 @@ type engine interface {
 	Flush() error
 	CheckInvariants() error
 	Analyze() (*Report, error)
+	Snapshot() core.View
+	CommitEpoch() uint64
 }
 
 // Index is a segment index: one of R-Tree, SR-Tree, Skeleton R-Tree, or
 // Skeleton SR-Tree.
 //
 // An Index is safe for concurrent use: mutations serialize behind an
-// internal write lock while searches and analysis proceed in parallel
-// under a read lock, pinning pages through a lock-striped buffer pool.
-// The batch APIs (SearchBatch, StabBatch, InsertBatch) fan work across a
-// bounded goroutine pool; see WithParallelism.
+// internal write lock per shard, while queries pin an MVCC snapshot and
+// traverse copy-on-write page versions with no tree-level lock — a
+// committing writer never blocks readers. Snapshot exposes the same
+// mechanism as an explicit repeatable-read View. The batch APIs
+// (SearchBatch, StabBatch, InsertBatch) fan work across a bounded
+// goroutine pool; see WithParallelism.
 type Index struct {
 	eng   engine
 	st    store.Store
@@ -189,6 +193,30 @@ func (x *Index) SearchWithin(query Rect) ([]Entry, error) {
 func (x *Index) SearchContaining(query Rect) ([]Entry, error) {
 	return x.eng.SearchContaining(query)
 }
+
+// View is an immutable snapshot of an index: queries on it acquire no
+// tree-level lock and observe exactly the committed state at the moment
+// Snapshot was called, no matter how many writes commit afterwards. See
+// (*Index).Snapshot.
+type View = core.View
+
+// ErrSnapshotReleased is returned by View methods used after Release.
+var ErrSnapshotReleased = core.ErrSnapshotReleased
+
+// Snapshot pins an immutable view of the index via MVCC page versioning:
+// the writer copy-on-writes every page it touches, so the view's reads
+// proceed lock-free against concurrent writers and always observe the
+// commit boundary they were pinned at. Release must be called when done —
+// a held view retains every superseded page version it can reach. On a
+// sharded index the shard views are pinned in shard order (see
+// forest.Snapshot for the cross-shard atomicity contract).
+func (x *Index) Snapshot() View { return x.eng.Snapshot() }
+
+// CommitEpoch reports a monotonic stamp of committed mutations: stable
+// while the index is unchanged, increasing with every committed
+// Insert/Delete/DeleteWhere. Snapshots taken at equal epochs observe equal
+// contents.
+func (x *Index) CommitEpoch() uint64 { return x.eng.CommitEpoch() }
 
 // Len reports the number of logical records stored.
 func (x *Index) Len() int { return x.eng.Len() }
