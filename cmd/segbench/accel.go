@@ -1,0 +1,358 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"segidx"
+	"segidx/internal/harness"
+	"segidx/internal/workload"
+)
+
+// The -accel mode is the stab-accelerator showdown: for each dataset it
+// builds the same SR-Tree three times — tree-only, sidecar-always, and
+// hybrid (the adaptive cost gate, mode set by -hybrid) — and times the
+// same query mix against each. The mix is the accelerator's target
+// profile: hot-dimension stabs (1-D-degenerate vertical lines), narrow
+// ranges the gate should still route to the sidecar, and wide ranges it
+// should send back to the tree. The TI dataset additionally exercises the
+// temporal append-mostly pattern: open-ended "now" intervals closed later
+// (delete + reinsert with the real ending time) and time-travel stabs
+// against a pinned MVCC snapshot, with live stab times drawn now-heavy by
+// workload.TIStabTimes. Output is BENCH JSON, one line per dataset x
+// mode, with the stab p50 improvement over the tree baseline reported on
+// the accel and hybrid lines.
+
+type accelJSON struct {
+	Experiment  string  `json:"experiment"`
+	Dataset     string  `json:"dataset"`
+	Mode        string  `json:"mode"` // "tree" | "accel" | "hybrid"
+	Kind        string  `json:"kind"`
+	Tuples      int     `json:"tuples"`
+	Seed        uint64  `json:"seed"`
+	Levels      int     `json:"levels"`
+	StabQueries int     `json:"stab_queries"`
+	StabP50US   float64 `json:"stab_p50_us"`
+	StabP95US   float64 `json:"stab_p95_us"`
+	StabP99US   float64 `json:"stab_p99_us"`
+	NarrowP50US float64 `json:"narrow_p50_us"`
+	WideP50US   float64 `json:"wide_p50_us"`
+	// SnapStabP50US times stabs against a pinned historical snapshot (TI
+	// only; 0 elsewhere).
+	SnapStabP50US float64 `json:"snap_stab_p50_us,omitempty"`
+	RoutedAccel   uint64  `json:"routed_accel"`
+	RoutedTree    uint64  `json:"routed_tree"`
+	Degraded      bool    `json:"degraded"`
+	// StabImprovementX is tree-mode stab p50 / this mode's stab p50,
+	// reported on the accel and hybrid lines (0 on the baseline).
+	StabImprovementX float64 `json:"stab_improvement_x,omitempty"`
+}
+
+const (
+	accelStabQueries  = 2000
+	accelRangeQueries = 500
+	accelWarmQueries  = 128
+	// accelNarrowFrac/accelWideFrac size the range-query widths as
+	// fractions of the hot-dimension domain: narrow stays under the auto
+	// gate's maxRangeWidthFrac, wide exceeds it.
+	accelNarrowFrac = 0.02
+	accelWideFrac   = 0.40
+)
+
+// accelDatasetList is the showdown sweep: the paper's interval and
+// rectangle mixes plus the temporal append-mostly workload.
+func accelDatasetList() []workload.Dataset {
+	return []workload.Dataset{
+		workload.I1, workload.I2, workload.I3, workload.I4,
+		workload.R1, workload.R2, workload.TI,
+	}
+}
+
+// accelStabXs returns the hot-dimension stab positions for a dataset:
+// uniform across the domain, except TI where the mix is now-heavy.
+func accelStabXs(ds workload.Dataset, n int, seed uint64) []float64 {
+	if ds == workload.TI {
+		// "now" sits at the frontier of the generated history.
+		return workload.TIStabTimes(workload.DomainHi, n, seed)
+	}
+	rng := workload.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Uniform(workload.DomainLo, workload.DomainHi)
+	}
+	return out
+}
+
+// timeQueriesUS runs fn once per query index after a warm-up pass and
+// returns the ascending per-call latencies in nanoseconds.
+func timeQueriesUS(n int, fn func(i int) error) ([]int64, error) {
+	for i := 0; i < accelWarmQueries && i < n; i++ {
+		if err := fn(i); err != nil {
+			return nil, err
+		}
+	}
+	lats := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := fn(i); err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(t0).Nanoseconds())
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, nil
+}
+
+// accelModeOptions maps a showdown mode to the build options that realize
+// it. Tree mode attaches no sidecar at all, so it is the true baseline.
+func accelModeOptions(mode string, levels int, hybrid segidx.HybridMode) []segidx.Option {
+	switch mode {
+	case "tree":
+		return nil
+	case "accel":
+		return []segidx.Option{
+			segidx.WithStabAccel(0, levels),
+			segidx.WithHybridMode(segidx.HybridAlways),
+		}
+	default: // hybrid
+		return []segidx.Option{
+			segidx.WithStabAccel(0, levels),
+			segidx.WithHybridMode(hybrid),
+		}
+	}
+}
+
+// accelBuildTI loads the temporal workload the append-mostly way: records
+// arrive in increasing ending-time order, a sliding window of the most
+// recent ones is kept open-ended (Max[0] = DomainHi, "still running"),
+// and each is closed — deleted and reinserted with its real ending time —
+// once the window moves past it.
+func accelBuildTI(idx *segidx.Index, recs []segidx.Rect) error {
+	const openWindow = 64
+	open := func(r segidx.Rect) segidx.Rect {
+		return segidx.Box(r.Min[0], r.Min[1], workload.DomainHi, r.Max[1])
+	}
+	for i, r := range recs {
+		if err := idx.Insert(open(r), segidx.RecordID(i+1)); err != nil {
+			return err
+		}
+		if i >= openWindow {
+			j := i - openWindow
+			if _, err := idx.Delete(segidx.RecordID(j+1), open(recs[j])); err != nil {
+				return err
+			}
+			if err := idx.Insert(recs[j], segidx.RecordID(j+1)); err != nil {
+				return err
+			}
+		}
+	}
+	// Close the trailing window so the final state matches the dataset.
+	for j := len(recs) - openWindow; j < len(recs); j++ {
+		if j < 0 {
+			continue
+		}
+		if _, err := idx.Delete(segidx.RecordID(j+1), open(recs[j])); err != nil {
+			return err
+		}
+		if err := idx.Insert(recs[j], segidx.RecordID(j+1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accelRunMode builds one index for (dataset, mode) and times the query
+// mix against it.
+func accelRunMode(spec harness.Spec, kind harness.Kind, ds workload.Dataset,
+	mode string, levels int, hybrid segidx.HybridMode, seed uint64,
+	progress io.Writer) (accelJSON, error) {
+	spec.ExtraOptions = accelModeOptions(mode, levels, hybrid)
+
+	var idx *segidx.Index
+	var buildTime time.Duration
+	var err error
+	if ds == workload.TI {
+		// Bypass harness.Build's plain insert loop: TI is loaded through
+		// the open/close temporal protocol.
+		idx, err = accelBuildIndexOnly(spec, kind)
+		if err != nil {
+			return accelJSON{}, err
+		}
+		start := time.Now()
+		if err := accelBuildTI(idx, ds.Generate(spec.Tuples, seed)); err != nil {
+			idx.Close()
+			return accelJSON{}, err
+		}
+		buildTime = time.Since(start)
+	} else {
+		idx, buildTime, err = harness.Build(spec, kind)
+		if err != nil {
+			return accelJSON{}, err
+		}
+	}
+	defer idx.Close()
+	fmt.Fprintf(progress, "%-4s %-7s built: %d tuples in %v\n",
+		ds, mode, spec.Tuples, buildTime.Round(time.Millisecond))
+
+	xs := accelStabXs(ds, accelStabQueries, seed+11)
+	stabLats, err := timeQueriesUS(len(xs), func(i int) error {
+		_, err := idx.Count(segidx.Box(xs[i], workload.DomainLo, xs[i], workload.DomainHi))
+		return err
+	})
+	if err != nil {
+		return accelJSON{}, err
+	}
+
+	span := workload.DomainHi - workload.DomainLo
+	rangeQuery := func(x, width float64) segidx.Rect {
+		hi := x + width
+		if hi > workload.DomainHi {
+			hi = workload.DomainHi
+		}
+		return segidx.Box(x, workload.DomainLo, hi, workload.DomainHi)
+	}
+	narrowLats, err := timeQueriesUS(accelRangeQueries, func(i int) error {
+		_, err := idx.Count(rangeQuery(xs[i%len(xs)], span*accelNarrowFrac))
+		return err
+	})
+	if err != nil {
+		return accelJSON{}, err
+	}
+	wideLats, err := timeQueriesUS(accelRangeQueries, func(i int) error {
+		_, err := idx.Count(rangeQuery(xs[i%len(xs)], span*accelWideFrac))
+		return err
+	})
+	if err != nil {
+		return accelJSON{}, err
+	}
+
+	// TI time travel: pin a snapshot, mutate the frontier past it, and
+	// stab the pinned history.
+	var snapP50 float64
+	if ds == workload.TI {
+		v := idx.Snapshot()
+		recs := ds.Generate(spec.Tuples, seed)
+		for i := 0; i < 512 && i < len(recs); i++ {
+			id := segidx.RecordID(i + 1)
+			if _, err := idx.Delete(id, recs[i]); err != nil {
+				v.Release()
+				return accelJSON{}, err
+			}
+			if err := idx.Insert(recs[i], id); err != nil {
+				v.Release()
+				return accelJSON{}, err
+			}
+		}
+		snapLats, err := timeQueriesUS(len(xs), func(i int) error {
+			_, err := v.Count(segidx.Box(xs[i], workload.DomainLo, xs[i], workload.DomainHi))
+			return err
+		})
+		v.Release()
+		if err != nil {
+			return accelJSON{}, err
+		}
+		snapP50 = percentileUS(snapLats, 0.50)
+	}
+
+	line := accelJSON{
+		Experiment:    "accel",
+		Dataset:       ds.String(),
+		Mode:          mode,
+		Kind:          kind.String(),
+		Tuples:        spec.Tuples,
+		Seed:          seed,
+		Levels:        levels,
+		StabQueries:   len(stabLats),
+		StabP50US:     percentileUS(stabLats, 0.50),
+		StabP95US:     percentileUS(stabLats, 0.95),
+		StabP99US:     percentileUS(stabLats, 0.99),
+		NarrowP50US:   percentileUS(narrowLats, 0.50),
+		WideP50US:     percentileUS(wideLats, 0.50),
+		SnapStabP50US: snapP50,
+	}
+	for _, s := range idx.AccelStats() {
+		line.RoutedAccel += s.RoutedAccel
+		line.RoutedTree += s.RoutedTree
+		line.Degraded = line.Degraded || s.Degraded
+	}
+	return line, nil
+}
+
+// accelBuildIndexOnly constructs an empty index for the spec without
+// loading it (the TI path loads through the temporal protocol).
+func accelBuildIndexOnly(spec harness.Spec, kind harness.Kind) (*segidx.Index, error) {
+	opts := append([]segidx.Option{
+		segidx.WithLeafNodeBytes(spec.LeafBytes),
+		segidx.WithNodeGrowth(spec.Growth),
+		segidx.WithBranchReserve(spec.BranchReserve),
+		segidx.WithLeafPromotion(spec.LeafPromotion),
+		segidx.WithCoalescing(spec.CoalesceEvery, spec.CoalesceCandidates),
+	}, spec.ExtraOptions...)
+	switch kind {
+	case harness.KindRTree:
+		return segidx.NewRTree(opts...)
+	case harness.KindSRTree:
+		return segidx.NewSRTree(opts...)
+	default:
+		return nil, fmt.Errorf("accel: TI loads via inserts; kind %v unsupported", kind)
+	}
+}
+
+// runAccel executes the showdown and prints BENCH JSON lines to stdout;
+// with -out the records are also written as a JSON document
+// (BENCH_accel.json).
+func runAccel(tuples int, seed uint64, levels int, hybrid segidx.HybridMode,
+	outPath string, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	kind := harness.KindSRTree
+	var results []accelJSON
+	for _, ds := range accelDatasetList() {
+		spec := harness.NewSpec("accel showdown", ds, tuples)
+		spec.Seed = seed
+		var lines []accelJSON
+		for _, mode := range []string{"tree", "accel", "hybrid"} {
+			line, err := accelRunMode(spec, kind, ds, mode, levels, hybrid, seed, progress)
+			if err != nil {
+				return fmt.Errorf("%v %s: %w", ds, mode, err)
+			}
+			lines = append(lines, line)
+		}
+		treeP50 := lines[0].StabP50US
+		for i := range lines {
+			if i > 0 && lines[i].StabP50US > 0 {
+				lines[i].StabImprovementX = treeP50 / lines[i].StabP50US
+			}
+			results = append(results, lines[i])
+			buf, err := json.Marshal(lines[i])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("BENCH %s\n", buf)
+			fmt.Fprintf(progress,
+				"%-4s %-7s stab p50 %7.1fus p95 %7.1fus  narrow %7.1fus  wide %7.1fus  routed %d/%d\n",
+				lines[i].Dataset, lines[i].Mode, lines[i].StabP50US, lines[i].StabP95US,
+				lines[i].NarrowP50US, lines[i].WideP50US, lines[i].RoutedAccel, lines[i].RoutedTree)
+		}
+		fmt.Fprintf(progress, "%-4s stab p50: tree %.1fus -> accel %.1fus (%.2fx) -> hybrid %.1fus (%.2fx)\n",
+			ds, treeP50, lines[1].StabP50US, lines[1].StabImprovementX,
+			lines[2].StabP50US, lines[2].StabImprovementX)
+	}
+
+	if outPath != "" {
+		doc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s\n", outPath)
+	}
+	return nil
+}

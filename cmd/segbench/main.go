@@ -20,6 +20,8 @@
 //	                                  # HTTP load generator vs a live served index
 //	segbench -mvcc -tuples 20000 -out BENCH_mvcc.json
 //	                                  # snapshot reads vs RWMutex under an active writer
+//	segbench -accel -tuples 100000 -out BENCH_accel.json
+//	                                  # stab showdown: tree vs sidecar vs hybrid routing
 //	segbench -graph 3 -profile g3     # also write g3.cpu.pprof, g3.heap.pprof
 //	segbench -list                    # what can be run
 package main
@@ -33,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 
+	"segidx"
 	"segidx/internal/harness"
 	"segidx/internal/workload"
 )
@@ -60,13 +63,16 @@ func main() {
 		httpList   = flag.String("http", "", "comma-separated shard counts for the HTTP load experiment: drive a live segidxd-style server with concurrent clients (emits BENCH JSON; honors -out, -clients, -requests)")
 		clients    = flag.Int("clients", 8, "concurrent HTTP clients for -http")
 		requests   = flag.Int("requests", 4000, "total HTTP requests per shard count for -http")
-		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability")
+		flushEvery = flag.Int("flushevery", 1000, "inserts per Flush for -durability and -shards")
 		mvcc       = flag.Bool("mvcc", false, "run the MVCC writer-vs-reader interference sweep: snapshot reads vs an external RWMutex baseline (emits BENCH JSON; honors -out, -readers)")
 		readersN   = flag.Int("readers", 4, "concurrent readers for -mvcc")
 		hotpath    = flag.Bool("hotpath", false, "run the zero-allocation read path benchmarks (emits BENCH JSON)")
 		gate       = flag.Bool("gate", false, "with -hotpath: exit nonzero if a gated benchmark allocates")
-		out        = flag.String("out", "", "with -hotpath: also write the results as a JSON document (BENCH_hotpath.json)")
+		out        = flag.String("out", "", "also write the results as a JSON document (honored by -hotpath, -shards, -http, -mvcc, -accel)")
 		baseline   = flag.String("baseline", "", "with -hotpath: previous -out document to report before/after trajectory against")
+		accelRun   = flag.Bool("accel", false, "run the stab-accelerator showdown: tree vs sidecar vs hybrid routing across the interval mixes and the TI temporal workload (emits BENCH JSON; honors -out, -hybrid, -levels)")
+		hybridMode = flag.String("hybrid", "auto", "routing mode for the -accel hybrid lines: off | always | auto")
+		levels     = flag.Int("levels", 10, "hierarchy depth for the -accel sidecar (1-16)")
 		profile    = flag.String("profile", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof covering the run")
 	)
 	flag.Parse()
@@ -107,6 +113,17 @@ func main() {
 			fatal(err)
 		}
 		if err := runMVCC(*tuples, *seed, k, *readersN, *out, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *accelRun {
+		h, err := segidx.ParseHybridMode(*hybridMode)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runAccel(*tuples, *seed, *levels, h, *out, progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -284,12 +301,13 @@ func printList() {
 	fmt.Println("  leafpromo  A5: leaf promotion on vs off on I3")
 	fmt.Println("  packing    A6: static packed R-Tree vs dynamic indexes on I1 and I3")
 	fmt.Println("\nother modes:")
-	fmt.Println("  -parallel    concurrent read scale-up (BENCH JSON)")
-	fmt.Println("  -durability  fsync cost of crash-safe commits: mem vs file vs WAL (BENCH JSON)")
-	fmt.Println("  -hotpath     zero-allocation read path benchmarks (BENCH JSON; -gate, -out, -baseline)")
+	fmt.Println("  -parallel    concurrent read scale-up (BENCH JSON; -workers, -kinds)")
+	fmt.Println("  -durability  fsync cost of crash-safe commits: mem vs file vs WAL (BENCH JSON; -flushevery, -kinds)")
+	fmt.Println("  -hotpath     zero-allocation read path benchmarks (BENCH JSON; -gate, -out, -baseline, -kinds)")
 	fmt.Println("  -shards      sharded-forest durable ingest scale-up (BENCH JSON; -flushevery, -out)")
 	fmt.Println("  -http        HTTP load generator against a live served index (BENCH JSON; -clients, -requests, -out)")
-	fmt.Println("  -mvcc        MVCC snapshot reads vs RWMutex under an active writer (BENCH JSON; -readers, -out)")
+	fmt.Println("  -mvcc        MVCC snapshot reads vs RWMutex under an active writer (BENCH JSON; -readers, -out, -kinds)")
+	fmt.Println("  -accel       stab-accelerator showdown: tree vs sidecar vs hybrid routing (BENCH JSON; -hybrid, -levels, -out)")
 	fmt.Println("\nany mode accepts -profile PREFIX to write CPU and heap pprof files")
 }
 

@@ -18,6 +18,7 @@
 //	segidxd -addr :8080                                  # in-memory r-tree
 //	segidxd -addr :8080 -durable idx.db -shards 4        # durable 4-shard forest
 //	segidxd -addr :8080 -durable idx.db -flushevery 100  # group commit every 100 mutations
+//	segidxd -addr :8080 -accel 10 -hybrid auto           # stab-accelerator sidecar on dim 0
 //
 // Reads fan out through the index's batch worker pool; query results are
 // served from an LRU cache invalidated by a mutation epoch. On SIGINT or
@@ -56,10 +57,18 @@ func main() {
 		maxBody     = flag.Int64("maxbody", 1<<20, "maximum request body in bytes")
 		flushEvery  = flag.Int("flushevery", 0, "flush (group commit) every n mutations; 0 = only at shutdown")
 		drainFor    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		accelLevels = flag.Int("accel", 0, "attach a stab-accelerator sidecar with this hierarchy depth (1-16); 0 disables")
+		accelDim    = flag.Int("acceldim", 0, "hot dimension for the -accel sidecar")
+		hybrid      = flag.String("hybrid", "auto", "sidecar routing mode for -accel: off | always | auto")
 	)
 	flag.Parse()
 
-	idx, err := openIndex(*file, *durable, *shards, *dims, *kind, *poolBytes, *parallelism)
+	hybridMode, err := segidx.ParseHybridMode(*hybrid)
+	if err != nil {
+		log.Fatalf("segidxd: %v", err)
+	}
+	idx, err := openIndex(*file, *durable, *shards, *dims, *kind, *poolBytes, *parallelism,
+		*accelLevels, *accelDim, hybridMode)
 	if err != nil {
 		log.Fatalf("segidxd: %v", err)
 	}
@@ -111,13 +120,19 @@ func main() {
 // existing file (or forest manifest) is reopened — replaying WALs when
 // durable — so restarting the daemon resumes where the last shutdown
 // committed; a missing path builds a fresh index.
-func openIndex(file, durable string, shards, dims int, kind string, poolBytes, parallelism int) (*segidx.Index, error) {
+func openIndex(file, durable string, shards, dims int, kind string, poolBytes, parallelism,
+	accelLevels, accelDim int, hybrid segidx.HybridMode) (*segidx.Index, error) {
 	if file != "" && durable != "" {
 		return nil, fmt.Errorf("-file and -durable are mutually exclusive")
 	}
 	opts := []segidx.Option{
 		segidx.WithDims(dims),
 		segidx.WithParallelism(parallelism),
+	}
+	if accelLevels > 0 {
+		opts = append(opts,
+			segidx.WithStabAccel(accelDim, accelLevels),
+			segidx.WithHybridMode(hybrid))
 	}
 	if poolBytes > 0 {
 		opts = append(opts, segidx.WithPoolBytes(poolBytes))

@@ -13,7 +13,7 @@ import (
 func TestOpenIndex(t *testing.T) {
 	// Fresh in-memory indexes.
 	for kind, want := range map[string]string{"r": "r-tree", "sr": "sr-tree"} {
-		idx, err := openIndex("", "", 1, 2, kind, 0, 0)
+		idx, err := openIndex("", "", 1, 2, kind, 0, 0, 0, 0, segidx.HybridAuto)
 		if err != nil {
 			t.Fatalf("openIndex(%q): %v", kind, err)
 		}
@@ -23,17 +23,27 @@ func TestOpenIndex(t *testing.T) {
 		idx.Close()
 	}
 
+	// -accel attaches a sidecar that surfaces through AccelStats.
+	acc, err := openIndex("", "", 1, 2, "sr", 0, 0, 8, 0, segidx.HybridAlways)
+	if err != nil {
+		t.Fatalf("openIndex with -accel: %v", err)
+	}
+	if st := acc.AccelStats(); len(st) != 1 || st[0].Levels != 8 {
+		t.Errorf("AccelStats = %+v, want one sidecar with 8 levels", st)
+	}
+	acc.Close()
+
 	// Flag validation.
-	if _, err := openIndex("a", "b", 1, 2, "sr", 0, 0); err == nil {
+	if _, err := openIndex("a", "b", 1, 2, "sr", 0, 0, 0, 0, segidx.HybridAuto); err == nil {
 		t.Error("-file together with -durable accepted")
 	}
-	if _, err := openIndex("", "", 1, 2, "bogus", 0, 0); err == nil {
+	if _, err := openIndex("", "", 1, 2, "bogus", 0, 0, 0, 0, segidx.HybridAuto); err == nil {
 		t.Error("unknown -kind accepted")
 	}
 
 	// A durable sharded forest survives a daemon restart.
 	path := filepath.Join(t.TempDir(), "forest.db")
-	idx, err := openIndex("", path, 4, 2, "sr", 0, 2)
+	idx, err := openIndex("", path, 4, 2, "sr", 0, 2, 0, 0, segidx.HybridAuto)
 	if err != nil {
 		t.Fatalf("fresh durable forest: %v", err)
 	}
@@ -50,7 +60,7 @@ func TestOpenIndex(t *testing.T) {
 		t.Fatalf("close: %v", err)
 	}
 
-	re, err := openIndex("", path, 4, 2, "sr", 0, 2)
+	re, err := openIndex("", path, 4, 2, "sr", 0, 2, 0, 0, segidx.HybridAuto)
 	if err != nil {
 		t.Fatalf("reopen durable forest: %v", err)
 	}

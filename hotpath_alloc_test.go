@@ -92,6 +92,96 @@ func TestStabFuncZeroAllocs(t *testing.T) {
 	}
 }
 
+// accelAllocIndex builds a sidecar-accelerated index in always mode and
+// loads it with interval data, returning stab points on the hot dimension.
+func accelAllocIndex(t *testing.T) (*segidx.Index, [][]float64) {
+	t.Helper()
+	idx := accelBuild(t, "sr-tree", 1, allocTuples,
+		segidx.WithStabAccel(0, 10), segidx.WithHybridMode(segidx.HybridAlways))
+	records := workload.I3.Generate(allocTuples, 31)
+	for i, r := range records {
+		if err := idx.Insert(r, segidx.RecordID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var points [][]float64
+	for i := 0; i < len(records) && len(points) < 64; i += len(records) / 64 {
+		r := records[i]
+		points = append(points, []float64{(r.Min[0] + r.Max[0]) / 2, r.Min[1]})
+	}
+	return idx, points
+}
+
+// accelRouted sums the sidecar-routed query count across all shards.
+func accelRouted(idx *segidx.Index) uint64 {
+	var n uint64
+	for _, s := range idx.AccelStats() {
+		n += s.RoutedAccel
+	}
+	return n
+}
+
+func TestAccelStabFuncZeroAllocs(t *testing.T) {
+	idx, points := accelAllocIndex(t)
+	defer idx.Close()
+	fn := func(segidx.Entry) bool { return true }
+	for _, p := range points {
+		if err := idx.StabFunc(fn, p...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := accelRouted(idx)
+	i := 0
+	var avg float64
+	withGCOff(func() {
+		avg = testing.AllocsPerRun(100, func() {
+			if err := idx.StabFunc(fn, points[i%len(points)]...); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	})
+	if accelRouted(idx) <= before {
+		t.Fatal("always mode did not route the probes through the sidecar")
+	}
+	if avg != 0 {
+		t.Fatalf("sidecar StabFunc allocates %g objects per call, want 0", avg)
+	}
+}
+
+func TestAccelCountZeroAllocs(t *testing.T) {
+	idx, points := accelAllocIndex(t)
+	defer idx.Close()
+	// Vertical hot-dimension lines: the 1-D-degenerate ranges the sidecar
+	// answers from its stab-part plus origin-part scan.
+	queries := make([]segidx.Rect, len(points))
+	for i, p := range points {
+		queries[i] = segidx.Box(p[0], workload.DomainLo, p[0], workload.DomainHi)
+	}
+	for _, q := range queries {
+		if _, err := idx.Count(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := accelRouted(idx)
+	i := 0
+	var avg float64
+	withGCOff(func() {
+		avg = testing.AllocsPerRun(100, func() {
+			if _, err := idx.Count(queries[i%len(queries)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	})
+	if accelRouted(idx) <= before {
+		t.Fatal("always mode did not route the probes through the sidecar")
+	}
+	if avg != 0 {
+		t.Fatalf("sidecar Count allocates %g objects per call, want 0", avg)
+	}
+}
+
 func TestCountZeroAllocs(t *testing.T) {
 	for _, kind := range harness.AllKinds() {
 		kind := kind

@@ -1,0 +1,325 @@
+package accel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"segidx/internal/geom"
+)
+
+// oracleRec mirrors one accelerator record for the brute-force oracle.
+type oracleRec struct {
+	r     geom.Rect
+	id    uint64
+	birth uint64
+	death uint64 // 0 = live
+}
+
+func visibleAt(o oracleRec, epoch uint64) bool {
+	return o.birth <= epoch && (o.death == 0 || o.death > epoch)
+}
+
+func contains(r, q geom.Rect) bool {
+	for i := range q.Min {
+		if r.Min[i] > q.Min[i] || r.Max[i] < q.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersects(r, q geom.Rect) bool {
+	for i := range q.Min {
+		if r.Min[i] > q.Max[i] || r.Max[i] < q.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func collectIDs(a *Accel, epoch uint64, q geom.Rect, rangeQ bool) []uint64 {
+	var ids []uint64
+	fn := func(min, max []float64, id uint64) bool {
+		ids = append(ids, id)
+		return true
+	}
+	if rangeQ {
+		a.RangeVisit(epoch, q.Min, q.Max, fn)
+	} else {
+		a.ContainVisit(epoch, q.Min, q.Max, fn)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func oracleIDs(recs []oracleRec, epoch uint64, q geom.Rect, rangeQ bool) []uint64 {
+	var ids []uint64
+	for _, o := range recs {
+		if !visibleAt(o, epoch) {
+			continue
+		}
+		if rangeQ && intersects(o.r, q) || !rangeQ && contains(o.r, q) {
+			ids = append(ids, o.id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAccelOracle drives interleaved inserts/deletes through epoched
+// commits and checks stab, containing, and intersection answers against a
+// brute-force oracle at every historical epoch — including values outside
+// the configured domain, which must clamp, not break.
+func TestAccelOracle(t *testing.T) {
+	a, err := New(Config{Dims: 2, Dim: 0, Levels: 6, Lo: 0, Hi: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var oracle []oracleRec
+	nextID := uint64(1)
+	epoch := uint64(1)
+
+	randRect := func() geom.Rect {
+		// Deliberately overshoots the domain on both sides.
+		lo := rng.Float64()*1400 - 200
+		hi := lo + rng.Float64()*300
+		y := rng.Float64() * 100
+		return geom.Rect2(lo, y, hi, y+rng.Float64()*20)
+	}
+
+	for step := 0; step < 60; step++ {
+		// One commit: a few inserts, sometimes a delete.
+		newEpoch := epoch + 1
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			r := randRect()
+			a.StageInsert(r, nextID)
+			oracle = append(oracle, oracleRec{r: r, id: nextID, birth: newEpoch})
+			nextID++
+		}
+		if step%3 == 2 {
+			// Delete a random live record.
+			live := make([]int, 0, len(oracle))
+			for i, o := range oracle {
+				if o.death == 0 && o.birth <= epoch {
+					live = append(live, i)
+				}
+			}
+			if len(live) > 0 {
+				i := live[rng.Intn(len(live))]
+				a.StageDelete(oracle[i].id)
+				oracle[i].death = newEpoch
+			}
+		}
+		// minEpoch trails the commit so compaction stays active.
+		minEpoch := uint64(1)
+		if newEpoch > 5 {
+			minEpoch = newEpoch - 5
+		}
+		a.Commit(newEpoch, minEpoch)
+		epoch = newEpoch
+		if a.Degraded() {
+			t.Fatalf("step %d: unexpected degrade", step)
+		}
+
+		// Check answers at several epochs, including historical ones that
+		// compaction must not have disturbed (only epochs >= minEpoch are
+		// pinnable in the real system).
+		for _, e := range []uint64{epoch, epoch - 1, minEpoch} {
+			for q := 0; q < 8; q++ {
+				x := rng.Float64()*1400 - 200
+				y := rng.Float64() * 100
+				stab := geom.Point(x, y)
+				if got, want := collectIDs(a, e, stab, false), oracleIDs(oracle, e, stab, false); !equalIDs(got, want) {
+					t.Fatalf("step %d epoch %d stab(%g,%g): got %v want %v", step, e, x, y, got, want)
+				}
+				box := randRect()
+				if got, want := collectIDs(a, e, box, true), oracleIDs(oracle, e, box, true); !equalIDs(got, want) {
+					t.Fatalf("step %d epoch %d range %v: got %v want %v", step, e, box, got, want)
+				}
+				if got, want := collectIDs(a, e, box, false), oracleIDs(oracle, e, box, false); !equalIDs(got, want) {
+					t.Fatalf("step %d epoch %d contain %v: got %v want %v", step, e, box, got, want)
+				}
+			}
+		}
+	}
+	st := a.Stats()
+	if st.Slots == 0 || st.Live == 0 {
+		t.Fatalf("implausible stats after churn: %+v", st)
+	}
+}
+
+// TestAccelAbort proves staged operations vanish on Abort and the next
+// commit applies only its own staging.
+func TestAccelAbort(t *testing.T) {
+	a, err := New(Config{Dims: 2, Dim: 0, Levels: 4, Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StageInsert(geom.Rect2(10, 0, 20, 0), 1)
+	a.Commit(2, 1)
+	a.StageInsert(geom.Rect2(30, 0, 40, 0), 2)
+	a.StageDelete(1)
+	a.Abort()
+	a.StageInsert(geom.Rect2(50, 0, 60, 0), 3)
+	a.Commit(3, 1)
+
+	got := collectIDs(a, 3, geom.Rect2(0, 0, 100, 0), true)
+	if !equalIDs(got, []uint64{1, 3}) {
+		t.Fatalf("after abort+commit: got %v want [1 3]", got)
+	}
+}
+
+// TestAccelDegradeOnDuplicateID proves a reused live ID permanently
+// disables routing instead of serving wrong answers.
+func TestAccelDegradeOnDuplicateID(t *testing.T) {
+	a, err := New(Config{Dims: 2, Dim: 0, Levels: 4, Lo: 0, Hi: 100, Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StageInsert(geom.Rect2(10, 0, 20, 0), 7)
+	a.Commit(2, 1)
+	if a.Degraded() {
+		t.Fatal("degraded too early")
+	}
+	a.StageInsert(geom.Rect2(80, 0, 90, 0), 7) // duplicate live ID
+	a.Commit(3, 1)
+	if !a.Degraded() {
+		t.Fatal("duplicate live ID must degrade")
+	}
+	if a.RouteContain() || a.RouteRange([]float64{0, 0}, []float64{1, 1}) {
+		t.Fatal("degraded accelerator must never route, even in ModeAlways")
+	}
+}
+
+// TestAccelDeleteUnknownID proves deleting an ID the accelerator never
+// held (or already deleted) is a harmless no-op.
+func TestAccelDeleteUnknownID(t *testing.T) {
+	a, err := New(Config{Dims: 2, Dim: 0, Levels: 4, Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StageInsert(geom.Rect2(10, 0, 20, 5), 1)
+	a.StageDelete(99)
+	a.Commit(2, 1)
+	a.StageDelete(1)
+	a.StageDelete(1)
+	a.Commit(3, 2)
+	if got := collectIDs(a, 2, geom.Point(15, 2), false); !equalIDs(got, []uint64{1}) {
+		t.Fatalf("epoch 2 stab: got %v want [1]", got)
+	}
+	if got := collectIDs(a, 3, geom.Point(15, 2), false); len(got) != 0 {
+		t.Fatalf("epoch 3 stab after delete: got %v want empty", got)
+	}
+}
+
+// TestAccelRouting exercises the three modes and the degenerate gate
+// states.
+func TestAccelRouting(t *testing.T) {
+	a, err := New(Config{Dims: 2, Dim: 0, Levels: 4, Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetMode(ModeOff)
+	if a.RouteContain() {
+		t.Fatal("ModeOff routed")
+	}
+	a.SetMode(ModeAlways)
+	if !a.RouteContain() {
+		t.Fatal("ModeAlways refused")
+	}
+	a.SetMode(ModeAuto)
+	// Unmeasured accelerator side gets first claim (modulo probes).
+	accel, tree := 0, 0
+	for i := 0; i < 256; i++ {
+		if a.RouteContain() {
+			accel++
+		} else {
+			tree++
+		}
+	}
+	if accel == 0 {
+		t.Fatal("auto mode never tried the unmeasured accelerator")
+	}
+	if tree == 0 {
+		t.Fatal("auto mode never probed the other side")
+	}
+	// Teach the gate the accelerator is slow; routing must flip.
+	for i := 0; i < 64; i++ {
+		a.ObserveContain(true, 1_000_000)
+		a.ObserveContain(false, 1_000)
+	}
+	tree = 0
+	for i := 0; i < 63; i++ {
+		if !a.RouteContain() {
+			tree++
+		}
+	}
+	if tree < 32 {
+		t.Fatalf("gate did not learn the slow side: only %d/63 tree routes", tree)
+	}
+	// A domain-wide range is statically guarded in auto mode.
+	for i := 0; i < 64; i++ {
+		a.ObserveRange(true, 1)
+	}
+	if a.RouteRange([]float64{0, 0}, []float64{100, 0}) {
+		t.Fatal("domain-wide range must not route in auto mode")
+	}
+	if got := a.Stats(); got.RoutedAccel == 0 || got.RoutedTree == 0 || got.Probes == 0 {
+		t.Fatalf("stats counters not advancing: %+v", got)
+	}
+}
+
+// TestParseMode covers the flag spellings.
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"auto", ModeAuto}, {"always", ModeAlways}, {"off", ModeOff}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("Mode %v String = %q", got, got.String())
+		}
+	}
+	if _, err := ParseMode("sometimes"); err == nil {
+		t.Fatal("ParseMode accepted junk")
+	}
+}
+
+// TestConfigValidate covers the rejection paths.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Dims: 0, Dim: 0, Levels: 4, Lo: 0, Hi: 1},
+		{Dims: 2, Dim: 2, Levels: 4, Lo: 0, Hi: 1},
+		{Dims: 2, Dim: -1, Levels: 4, Lo: 0, Hi: 1},
+		{Dims: 2, Dim: 0, Levels: 0, Lo: 0, Hi: 1},
+		{Dims: 2, Dim: 0, Levels: 17, Lo: 0, Hi: 1},
+		{Dims: 2, Dim: 0, Levels: 4, Lo: 1, Hi: 1},
+		{Dims: 2, Dim: 0, Levels: 4, Lo: 0, Hi: 1, Mode: Mode(9)},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(Config{Dims: 2, Dim: 0, Levels: 4, Lo: 0, Hi: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

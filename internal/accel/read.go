@@ -1,0 +1,160 @@
+package accel
+
+import "sync/atomic"
+
+// VisitFunc receives one matching record. min and max alias the
+// accelerator's flat column storage — valid only for the duration of the
+// call; copy to retain. Return false to stop the traversal.
+type VisitFunc func(min, max []float64, id uint64) bool
+
+// ContainVisit streams every record, visible at the pinned snapshot
+// epoch, whose rectangle contains [qmin, qmax] — the accelerator's answer
+// to SearchContaining and Stab. Bottom-up: the leaf-to-root path of
+// cellOf(qmin[dim]) holds every candidate, because a containing record's
+// hot interval covers the stab point, so exactly one node of its
+// canonical decomposition has the stab cell in its run and that node lies
+// on the path. When the query is degenerate in the hot dimension (a true
+// stab), candidates from covers lists skip the hot-dimension comparison
+// entirely: the canonical cover's cell run bounds prove start < q < end
+// through the monotonicity of cellOf. Returns false if fn stopped the
+// scan. Allocation-free; safe for concurrent lock-free use.
+//
+//seglint:hotpath
+func (a *Accel) ContainVisit(epoch uint64, qmin, qmax []float64, fn VisitFunc) bool {
+	t := a.recs.Load()
+	skipHot := -1
+	if !(qmin[a.dim] < qmax[a.dim]) { // degenerate hot extent: covers lists are comparison-free
+		skipHot = a.dim
+	}
+	for v := a.cellOf(qmin[a.dim]) + a.nCells; v >= 1; v >>= 1 {
+		if !a.scanContain(t, epoch, a.covers[v].Load(), qmin, qmax, skipHot, fn) {
+			return false
+		}
+		if !a.scanContain(t, epoch, a.bounds[v].Load(), qmin, qmax, -1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanContain filters one slot list by snapshot visibility and
+// containment. skipHot names a dimension already proven to contain the
+// query (or -1).
+//
+//seglint:hotpath
+func (a *Accel) scanContain(t *recTable, epoch uint64, l *slotList, qmin, qmax []float64, skipHot int, fn VisitFunc) bool {
+	if l == nil {
+		return true
+	}
+	k := a.k
+	nRec := len(t.ids)
+	for _, s := range l.slots {
+		// A list header can be newer than our column header; slots past
+		// its visible prefix belong to younger epochs anyway.
+		if int(s) >= nRec || t.births[s] > epoch {
+			continue
+		}
+		chunk := t.deaths[s>>deathChunkShift]
+		if d := atomic.LoadUint64(&chunk[s&deathChunkMask]); d != 0 && d <= epoch {
+			continue
+		}
+		off := int(s) * 2 * k
+		rmin := t.rects[off : off+k : off+k]
+		rmax := t.rects[off+k : off+2*k : off+2*k]
+		ok := true
+		for i := 0; i < k; i++ {
+			if i != skipHot && (rmin[i] > qmin[i] || rmax[i] < qmax[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok && !fn(rmin, rmax, t.ids[s]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeVisit streams every record, visible at the pinned snapshot epoch,
+// whose rectangle intersects [qmin, qmax] — the accelerator's answer to
+// Search. The result is assembled duplicate-free from two disjoint
+// classes split on the record's hot start s against qa = qmin[dim]:
+//
+//   - s <= qa: exactly the containing-style stab at cellOf(qa). Covers
+//     candidates on that path are emitted with no hot-dimension
+//     comparison at all — the cell run bounds prove s < qa < e, which is
+//     both the class predicate and the hot-dimension overlap.
+//   - s > qa: the record's origin cell cellOf(s) lies in
+//     [cellOf(qa), cellOf(qb)], so a scan of those origin lists, filtered
+//     by s > qa and full intersection, finds each exactly once.
+//
+// Returns false if fn stopped the scan. Allocation-free; safe for
+// concurrent lock-free use.
+//
+//seglint:hotpath
+func (a *Accel) RangeVisit(epoch uint64, qmin, qmax []float64, fn VisitFunc) bool {
+	t := a.recs.Load()
+	qa := qmin[a.dim]
+	ca := a.cellOf(qa)
+	cb := a.cellOf(qmax[a.dim])
+	for v := ca + a.nCells; v >= 1; v >>= 1 {
+		if !a.scanIntersect(t, epoch, a.covers[v].Load(), qmin, qmax, a.dim, qa, false, fn) {
+			return false
+		}
+		if !a.scanIntersect(t, epoch, a.bounds[v].Load(), qmin, qmax, -1, qa, false, fn) {
+			return false
+		}
+	}
+	for c := ca; c <= cb; c++ {
+		if !a.scanIntersect(t, epoch, a.origins[c].Load(), qmin, qmax, -1, qa, true, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanIntersect filters one slot list by snapshot visibility, the
+// start-split predicate (start > qa when originPart, start <= qa
+// otherwise), and rectangle intersection. skipHot names a dimension whose
+// overlap — and class predicate — the hierarchy already proved (or -1).
+//
+//seglint:hotpath
+func (a *Accel) scanIntersect(t *recTable, epoch uint64, l *slotList, qmin, qmax []float64, skipHot int, qa float64, originPart bool, fn VisitFunc) bool {
+	if l == nil {
+		return true
+	}
+	k := a.k
+	nRec := len(t.ids)
+	for _, s := range l.slots {
+		if int(s) >= nRec || t.births[s] > epoch {
+			continue
+		}
+		chunk := t.deaths[s>>deathChunkShift]
+		if d := atomic.LoadUint64(&chunk[s&deathChunkMask]); d != 0 && d <= epoch {
+			continue
+		}
+		if skipHot < 0 {
+			if originPart {
+				if !(t.starts[s] > qa) {
+					continue
+				}
+			} else if t.starts[s] > qa {
+				continue
+			}
+		}
+		off := int(s) * 2 * k
+		rmin := t.rects[off : off+k : off+k]
+		rmax := t.rects[off+k : off+2*k : off+2*k]
+		ok := true
+		for i := 0; i < k; i++ {
+			if i != skipHot && (rmin[i] > qmax[i] || rmax[i] < qmin[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok && !fn(rmin, rmax, t.ids[s]) {
+			return false
+		}
+	}
+	return true
+}

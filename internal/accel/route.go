@@ -1,0 +1,109 @@
+package accel
+
+// The adaptive cost gate. Per query class (containing-style stabs vs.
+// intersection ranges) the gate keeps one EWMA of observed latency per
+// side and routes each query to the cheaper side, with a deterministic
+// 1-in-probePeriod probe sent to the other side so both averages stay
+// current as the workload drifts. Probing is free in the only currency
+// that matters: both sides return identical answers, a probe only moves
+// where the time is spent. The EWMA update is a racy load-compute-store —
+// concurrent readers can lose each other's samples — which is acceptable
+// for a heuristic that only has to track which side is cheaper, never an
+// exact figure.
+
+// EWMA slot indices.
+const (
+	ewContainTree = iota
+	ewContainAccel
+	ewRangeTree
+	ewRangeAccel
+)
+
+// probePeriod routes every Nth auto-mode query to the side the gate
+// currently disfavors.
+const probePeriod = 64
+
+// maxRangeWidthFrac is the static guard for intersection queries: wider
+// than this fraction of the hot domain, the origin-cell scan touches too
+// much of the bottom level to win, and auto mode goes straight to the
+// tree without polluting the range EWMA.
+const maxRangeWidthFrac = 0.25
+
+// RouteContain decides whether a containing-style query (Stab,
+// SearchContaining) should run on the accelerator.
+func (a *Accel) RouteContain() bool {
+	return a.route(ewContainTree, ewContainAccel, false)
+}
+
+// RouteRange decides whether an intersection query (Search, Count) should
+// run on the accelerator.
+func (a *Accel) RouteRange(qmin, qmax []float64) bool {
+	wide := (qmax[a.dim]-qmin[a.dim])*a.scale > maxRangeWidthFrac*float64(a.nCells)
+	return a.route(ewRangeTree, ewRangeAccel, wide)
+}
+
+func (a *Accel) route(treeIdx, accelIdx int, guard bool) bool {
+	if a.degraded.Load() {
+		return false
+	}
+	switch Mode(a.mode.Load()) {
+	case ModeOff:
+		return false
+	case ModeAlways:
+		return true
+	}
+	if guard {
+		return false
+	}
+	at := a.ewma[accelIdx].Load()
+	tt := a.ewma[treeIdx].Load()
+	var prefer bool
+	switch {
+	case at == 0: // unmeasured sides get first claim
+		prefer = true
+	case tt == 0:
+		prefer = false
+	default:
+		prefer = at <= tt
+	}
+	if a.seq.Add(1)%probePeriod == 0 {
+		a.probes.Add(1)
+		return !prefer
+	}
+	return prefer
+}
+
+// ObserveContain feeds one containing-style query latency (ns) back into
+// the gate. usedAccel tells which side produced it.
+func (a *Accel) ObserveContain(usedAccel bool, ns int64) {
+	a.observe(ewContainTree, ewContainAccel, usedAccel, ns)
+}
+
+// ObserveRange feeds one intersection query latency (ns) back into the
+// gate.
+func (a *Accel) ObserveRange(usedAccel bool, ns int64) {
+	a.observe(ewRangeTree, ewRangeAccel, usedAccel, ns)
+}
+
+func (a *Accel) observe(treeIdx, accelIdx int, usedAccel bool, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	idx := treeIdx
+	if usedAccel {
+		idx = accelIdx
+		a.routedAccel.Add(1)
+	} else {
+		a.routedTree.Add(1)
+	}
+	e := &a.ewma[idx]
+	old := e.Load()
+	nv := old - old/8 + uint64(ns)/8
+	if old == 0 {
+		nv = uint64(ns)
+	}
+	if nv == 0 {
+		nv = 1 // keep a measured side distinguishable from an unmeasured one
+	}
+	e.Store(nv)
+}

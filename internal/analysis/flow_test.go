@@ -126,6 +126,10 @@ func (v *View) ok() bool  { return true }
 
 func (t *Tree) Snapshot() *View { return &View{} }
 
+func (t *Tree) beginOp()                {}
+func (t *Tree) publishOp() error        { return nil }
+func (t *Tree) abortOp(err error) error { return err }
+
 type Pool struct{}
 
 func (p *Pool) GetMut(id ID) (*node, error)  { return &node{ID: id}, nil }
@@ -303,6 +307,52 @@ func (t *Tree) snapDouble() {
 func (t *Tree) snapEscape() *View {
 	v := t.Snapshot()
 	return v
+}
+
+// bracketLeak: the early return leaves the write bracket open, so staged
+// sidecar records would be committed by a later, unrelated operation.
+func (t *Tree) bracketLeak(x int) error {
+	t.beginOp()
+	if x > 0 {
+		return errBad // want pinbalance
+	}
+	return t.publishOp()
+}
+
+// bracketClean: the repo's write-op idiom — abort on every error path,
+// publish on the success path.
+func (t *Tree) bracketClean(id ID) error {
+	t.beginOp()
+	n, err := t.fetchMut(id)
+	if err != nil {
+		return t.abortOp(err)
+	}
+	if n.bad() {
+		t.done(id, true)
+		return t.abortOp(errBad)
+	}
+	if err := t.done(id, true); err != nil {
+		return t.abortOp(err)
+	}
+	return t.publishOp()
+}
+
+// bracketMaybe: publish on one arm, a bare return on the other.
+func (t *Tree) bracketMaybe(x int) error {
+	t.beginOp()
+	if x > 0 {
+		return t.publishOp()
+	}
+	return nil // want pinbalance
+}
+
+// bracketDouble: aborting after the publish already closed the bracket.
+func (t *Tree) bracketDouble() error {
+	t.beginOp()
+	if err := t.publishOp(); err != nil {
+		return t.abortOp(err) // want pinbalance
+	}
+	return nil
 }
 `)
 }

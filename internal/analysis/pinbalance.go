@@ -2,10 +2,17 @@ package analysis
 
 // pinbalance proves buffer-pool pin discipline on the query and mutation
 // paths: every node pinned by Tree.fetch/fetchMut, Pool.Get/GetMut, or
-// Pool.NewNode, every query context taken from Tree.getQctx/getQctxAt, and
-// every MVCC snapshot taken by a Snapshot() call, is released (Tree.done,
-// Pool.Unpin, Tree.releaseQctx, View.Release) on every path out of the
-// function — by a deferred release or an explicit one per path.
+// Pool.NewNode, every query context taken from Tree.getQctx/getQctxAt,
+// every MVCC snapshot taken by a Snapshot() call, and every write bracket
+// opened by Tree.beginOp, is released (Tree.done, Pool.Unpin,
+// Tree.releaseQctx, View.Release, Tree.publishOp/abortOp) on every path
+// out of the function — by a deferred release or an explicit one per path.
+//
+// The write bracket matters beyond the page pool: publishOp commits and
+// abortOp discards the stab-accelerator sidecar staging buffers, so a
+// path that returns between beginOp and either close leaves staged
+// sidecar records to be committed under some later, unrelated epoch —
+// silently corrupting historical snapshot answers.
 //
 // A release resolves against the *live* pin on its page: the
 // release-refetch-release idiom (done(id); fetchMut(id); ... done(id))
@@ -38,12 +45,14 @@ var PinBalance = &Analyzer{
 	Run:  runPinBalance,
 	AppliesTo: func(pkgPath string) bool {
 		// The tree core and the root package own pins; the forest, server,
-		// and skeleton layers own MVCC snapshots. Everything else only
-		// borrows nodes.
+		// and skeleton layers own MVCC snapshots; the accelerator sidecar
+		// rides the core's write bracket. Everything else only borrows
+		// nodes.
 		return strings.HasSuffix(pkgPath, "internal/core") ||
 			strings.HasSuffix(pkgPath, "internal/forest") ||
 			strings.HasSuffix(pkgPath, "internal/server") ||
 			strings.HasSuffix(pkgPath, "internal/skeleton") ||
+			strings.HasSuffix(pkgPath, "internal/accel") ||
 			!strings.Contains(pkgPath, "/")
 	},
 }
@@ -54,6 +63,7 @@ const (
 	pinPage pinKind = iota
 	pinQctx
 	pinSnap
+	pinBracket
 )
 
 // pinInfo is the flow-independent description of one pin birth site.
@@ -266,6 +276,10 @@ func (a *pinAnalysis) pinSource(call *ast.CallExpr) (kind pinKind, argKey, desc 
 		// Released only through the node's ID.
 	case (name == "getQctx" || name == "getQctxAt") && recv == "Tree":
 		return pinQctx, "", exprText(a.p.Fset, sel.X) + "." + name + "()", true
+	case name == "beginOp" && recv == "Tree" && len(call.Args) == 0:
+		// A write bracket: must reach publishOp or abortOp on every path
+		// (both close the bracket and settle the sidecar staging).
+		return pinBracket, "", exprText(a.p.Fset, sel.X) + ".beginOp()", true
 	case name == "Snapshot" && recv != "" && len(call.Args) == 0:
 		// An MVCC snapshot pin: any Snapshot() method on a named receiver
 		// (Tree, Index, Forest, Predictor, the facade engine interface).
@@ -305,6 +319,14 @@ func (a *pinAnalysis) releaseTargets(call *ast.CallExpr) ([]*pinInfo, bool) {
 		return targets, true
 	case name == "UnpinBatch" && recv == "Pool":
 		return nil, true
+	case (name == "publishOp" || name == "abortOp") && recv == "Tree":
+		var targets []*pinInfo
+		for _, pi := range a.pins {
+			if pi.kind == pinBracket {
+				targets = append(targets, pi)
+			}
+		}
+		return targets, true
 	case name == "Release" && len(call.Args) == 0:
 		// Snapshot release: v.Release() discharges the snapshot held in v.
 		var targets []*pinInfo
@@ -603,6 +625,9 @@ func (a *pinAnalysis) checkExit(fn string, pos token.Pos, s pinState) {
 		case pinSnap:
 			what = fmt.Sprintf("the snapshot from %s at line %d", pi.desc, line)
 			release = "call its Release on this path or defer it"
+		case pinBracket:
+			what = fmt.Sprintf("the write bracket opened by %s at line %d", pi.desc, line)
+			release = "commit it with publishOp or roll it back with abortOp on this path"
 		}
 		switch {
 		case f.deferred == triMaybe:

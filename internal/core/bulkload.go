@@ -71,7 +71,7 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 		}
 		leaf, err := t.pool.NewNode(0, t.cfg.Sizes.BytesForLevel(0))
 		if err != nil {
-			return nil, err
+			return nil, t.abortOp(err)
 		}
 		for _, idx := range order[lo:hi] {
 			leaf.Records = append(leaf.Records, entries[idx])
@@ -101,7 +101,7 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 			}
 			n, err := t.pool.NewNode(lvl, t.cfg.Sizes.BytesForLevel(lvl))
 			if err != nil {
-				return nil, err
+				return nil, t.abortOp(err)
 			}
 			for _, idx := range order[lo:hi] {
 				n.Branches = append(n.Branches, level[idx])
@@ -118,7 +118,7 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 	t.root = level[0].Child
 	rootNode, err := t.fetch(t.root, nil)
 	if err != nil {
-		return nil, err
+		return nil, t.abortOp(err)
 	}
 	t.height = rootNode.Level + 1
 	t.done(t.root, false)
@@ -129,7 +129,7 @@ func BulkLoad(cfg Config, st store.Store, records []Record, fill float64) (*Tree
 		}
 	}
 	if err := t.pool.Free(oldRoot); err != nil {
-		return nil, err
+		return nil, t.abortOp(err)
 	}
 	if err := t.publishOp(); err != nil {
 		return nil, err

@@ -115,6 +115,7 @@ func (t *Tree) deleteMatching(hint geom.Rect, match func(node.Record) bool) (int
 	for id, portions := range removed {
 		t.cutPortions -= portions - 1
 		t.ids.remove(id)
+		t.stageSidecarDelete(id)
 	}
 	if t.cutPortions < 0 {
 		t.cutPortions = 0

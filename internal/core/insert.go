@@ -55,6 +55,7 @@ func (t *Tree) Insert(rect geom.Rect, id node.RecordID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.beginOp()
+	t.stageSidecarInsert(rect, id)
 	o := t.newOp(&t.stats.InsertNodeAccesses)
 	if err := o.insert(rect.Clone(), id, 0); err != nil {
 		return t.abortOp(err)

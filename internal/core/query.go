@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"segidx/internal/geom"
 	"segidx/internal/node"
 	"segidx/internal/page"
 )
@@ -50,6 +51,16 @@ type queryCtx struct {
 	coverOff map[node.RecordID]int
 	coverIDs []node.RecordID
 	coverBuf []float64
+
+	// Sidecar adapters: accelFn is the caller's callback for the current
+	// accelerator-routed query, and accelEmit/collectFn/accelCountFn are
+	// persistent closures built once per context (newQueryCtx) so routing
+	// a query through the accelerator allocates nothing.
+	accelFn      func(Entry) bool
+	accelEmit    func(min, max []float64, id uint64) bool
+	collectFn    func(Entry) bool
+	accelCountFn func(min, max []float64, id uint64) bool
+	accelCount   int
 }
 
 // dedupBitmapWords caps the bitmap at 1<<20 record IDs (128 KiB); IDs at
@@ -57,11 +68,23 @@ type queryCtx struct {
 const dedupBitmapWords = 1 << 14
 
 func newQueryCtx() *queryCtx {
-	return &queryCtx{
+	qc := &queryCtx{
 		nodes:    make(map[page.ID]*node.Node),
 		over:     make(map[node.RecordID]struct{}),
 		coverOff: make(map[node.RecordID]int),
 	}
+	qc.accelEmit = func(min, max []float64, id uint64) bool {
+		return qc.accelFn(Entry{Rect: geom.Rect{Min: min, Max: max}, ID: node.RecordID(id)})
+	}
+	qc.collectFn = func(e Entry) bool {
+		qc.entries = append(qc.entries, e)
+		return true
+	}
+	qc.accelCountFn = func(min, max []float64, id uint64) bool {
+		qc.accelCount++
+		return true
+	}
+	return qc
 }
 
 // getQctx returns a recycled (or fresh) query context. No lock is needed:
@@ -97,6 +120,8 @@ func (t *Tree) releaseQctx(qc *queryCtx) {
 	qc.resetDedup()
 	qc.entries = qc.entries[:0]
 	qc.resetCovers()
+	qc.accelFn = nil
+	qc.accelCount = 0
 	qc.epoch = 0
 	t.qctxPool.Put(qc)
 	if registered {

@@ -89,7 +89,7 @@ func (t *Tree) Search(query geom.Rect) ([]Entry, error) {
 	defer t.releaseQctx(qc)
 	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	if err := t.collectDedup(st, qc, query); err != nil {
+	if err := t.searchRouted(st, qc, query); err != nil {
 		return nil, err
 	}
 	return materialize(qc.entries, t.cfg.Dims), nil
@@ -159,7 +159,7 @@ func (t *Tree) Count(query geom.Rect) (int, error) {
 	defer t.releaseQctx(qc)
 	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	return t.countQuery(st, qc, query)
+	return t.countRouted(st, qc, query)
 }
 
 // countQuery is the traversal behind Count, running against one pinned
@@ -286,7 +286,7 @@ func (t *Tree) SearchContainingFunc(query geom.Rect, fn func(Entry) bool) error 
 	defer t.releaseQctx(qc)
 	st := t.acquireRead(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	return t.containingFunc(st, qc, query, fn)
+	return t.containingRouted(st, qc, query, fn)
 }
 
 // containingFunc is the traversal behind SearchContainingFunc, running

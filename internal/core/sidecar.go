@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"segidx/internal/accel"
+	"segidx/internal/geom"
+	"segidx/internal/node"
+)
+
+// Sidecar integration: an optional HINT-style stab accelerator
+// (internal/accel) the tree keeps epoch-consistent with its own MVCC
+// state and consults for containing-style and intersection queries
+// through an adaptive cost gate.
+//
+// Synchronization rides the existing write bracket: Insert stages the
+// original rectangle and deleteMatching stages each removed ID, publishOp
+// commits the staging under the same new epoch immediately before the
+// tree state becomes visible, and abortOp drops it. A reader that pins
+// epoch E therefore sees exactly the accelerator contents of commit E —
+// records are filtered by birth <= E < death inside the accelerator — no
+// matter how many commits race past the pinned snapshot.
+
+// sidecarRef binds an attached accelerator to the epoch it was seeded at.
+// Snapshots pinned before the attach (st.epoch < attachEpoch) must not
+// consult it: the seed's birth epoch would hide every record from them.
+type sidecarRef struct {
+	sc          *accel.Accel
+	attachEpoch uint64
+}
+
+// AttachStabAccel attaches a stab accelerator and seeds it with the
+// tree's current contents. At most one accelerator can be attached, and
+// only ever before the facade publishes the index, so queries never race
+// the attachment itself. Contents the accelerator's one-rectangle-per-ID
+// model cannot represent — pre-cut portions of a reopened spanning tree,
+// or duplicate record IDs from a bulk load — attach in permanently
+// degraded mode: the accelerator stays dormant and every query runs on
+// the tree.
+//
+// With an accelerator attached, queries it answers report each record's
+// full original rectangle; the tree's own traversals may report a cut
+// record as the narrower union of the portions intersecting the query.
+// Record ID sets are always identical.
+func (t *Tree) AttachStabAccel(a *accel.Accel) error {
+	if a == nil {
+		return errors.New("core: nil stab accelerator")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sidecar.Load() != nil {
+		return errors.New("core: stab accelerator already attached")
+	}
+
+	type agg struct {
+		min, max []float64
+		portions int
+	}
+	seed := make(map[node.RecordID]*agg)
+	multi := false
+	err := t.VisitPortions(func(_ int, e Entry) bool {
+		g, ok := seed[e.ID]
+		if !ok {
+			seed[e.ID] = &agg{
+				min:      append([]float64(nil), e.Rect.Min...),
+				max:      append([]float64(nil), e.Rect.Max...),
+				portions: 1,
+			}
+			return true
+		}
+		g.portions++
+		multi = true
+		for d := range g.min {
+			if e.Rect.Min[d] < g.min[d] {
+				g.min[d] = e.Rect.Min[d]
+			}
+			if e.Rect.Max[d] > g.max[d] {
+				g.max[d] = e.Rect.Max[d]
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	epoch := t.state.Load().epoch
+	if multi {
+		a.Degrade()
+	} else {
+		for id, g := range seed {
+			a.StageInsert(geom.Rect{Min: g.min, Max: g.max}, uint64(id))
+		}
+		a.Commit(epoch, epoch)
+	}
+	t.sidecar.Store(&sidecarRef{sc: a, attachEpoch: epoch})
+	return nil
+}
+
+// AccelStats reports the attached accelerator's counters (nil when none
+// is attached).
+func (t *Tree) AccelStats() []accel.Stats {
+	if ref := t.sidecar.Load(); ref != nil {
+		return []accel.Stats{ref.sc.Stats()}
+	}
+	return nil
+}
+
+// stageSidecarInsert mirrors one Insert into the sidecar staging buffer.
+// Called inside the write bracket, after beginOp.
+func (t *Tree) stageSidecarInsert(rect geom.Rect, id node.RecordID) {
+	if ref := t.sidecar.Load(); ref != nil {
+		ref.sc.StageInsert(rect, uint64(id))
+	}
+}
+
+// stageSidecarDelete mirrors one whole-record removal into the sidecar
+// staging buffer. Called inside the write bracket.
+func (t *Tree) stageSidecarDelete(id node.RecordID) {
+	if ref := t.sidecar.Load(); ref != nil {
+		ref.sc.StageDelete(uint64(id))
+	}
+}
+
+// sidecarFor returns the accelerator the pinned state may consult, or nil.
+//
+//seglint:hotpath
+func (t *Tree) sidecarFor(st *treeState) *accel.Accel {
+	ref := t.sidecar.Load()
+	if ref == nil || st.epoch < ref.attachEpoch {
+		return nil
+	}
+	return ref.sc
+}
+
+// containingRouted answers a SearchContaining-class query (including
+// stabs) through the accelerator when the cost gate elects it, and
+// through the tree otherwise. Either side's latency feeds the gate.
+//
+//seglint:hotpath
+func (t *Tree) containingRouted(st *treeState, qc *queryCtx, query geom.Rect, fn func(Entry) bool) error {
+	a := t.sidecarFor(st)
+	if a == nil {
+		return t.containingFunc(st, qc, query, fn)
+	}
+	if a.RouteContain() {
+		start := time.Now()
+		qc.accelFn = fn
+		a.ContainVisit(st.epoch, query.Min, query.Max, qc.accelEmit)
+		qc.accelFn = nil
+		a.ObserveContain(true, time.Since(start).Nanoseconds())
+		return nil
+	}
+	start := time.Now()
+	err := t.containingFunc(st, qc, query, fn)
+	a.ObserveContain(false, time.Since(start).Nanoseconds())
+	return err
+}
+
+// searchRouted fills qc.entries with the deduplicated intersection result
+// through whichever side the cost gate elects.
+//
+//seglint:hotpath
+func (t *Tree) searchRouted(st *treeState, qc *queryCtx, query geom.Rect) error {
+	a := t.sidecarFor(st)
+	if a == nil {
+		return t.collectDedup(st, qc, query)
+	}
+	if a.RouteRange(query.Min, query.Max) {
+		start := time.Now()
+		qc.accelFn = qc.collectFn
+		a.RangeVisit(st.epoch, query.Min, query.Max, qc.accelEmit)
+		qc.accelFn = nil
+		a.ObserveRange(true, time.Since(start).Nanoseconds())
+		return nil
+	}
+	start := time.Now()
+	err := t.collectDedup(st, qc, query)
+	a.ObserveRange(false, time.Since(start).Nanoseconds())
+	return err
+}
+
+// countRouted counts the intersection result through whichever side the
+// cost gate elects.
+//
+//seglint:hotpath
+func (t *Tree) countRouted(st *treeState, qc *queryCtx, query geom.Rect) (int, error) {
+	a := t.sidecarFor(st)
+	if a == nil {
+		return t.countQuery(st, qc, query)
+	}
+	if a.RouteRange(query.Min, query.Max) {
+		start := time.Now()
+		qc.accelCount = 0
+		a.RangeVisit(st.epoch, query.Min, query.Max, qc.accelCountFn)
+		n := qc.accelCount
+		a.ObserveRange(true, time.Since(start).Nanoseconds())
+		return n, nil
+	}
+	start := time.Now()
+	n, err := t.countQuery(st, qc, query)
+	a.ObserveRange(false, time.Since(start).Nanoseconds())
+	return n, err
+}

@@ -137,9 +137,18 @@ func (t *Tree) beginOp() {
 
 // publishOp commits the bracket opened by beginOp: the new state becomes
 // visible to readers in one atomic store, then garbage drained by the
-// commit is collected. The caller must hold the write lock on t.mu.
+// commit is collected. An attached sidecar commits its staging first,
+// under the same new epoch — a reader can only pin the epoch after the
+// state store below, by which point the sidecar already serves it. The
+// caller must hold the write lock on t.mu.
 func (t *Tree) publishOp() error {
-	t.publishState(t.state.Load().epoch + 1)
+	newEpoch := t.state.Load().epoch + 1
+	if ref := t.sidecar.Load(); ref != nil {
+		// gcMin is a proven lower bound on every live and future pinned
+		// epoch, so the sidecar may compact versions dead at or below it.
+		ref.sc.Commit(newEpoch, t.gcMin.Load())
+	}
+	t.publishState(newEpoch)
 	return t.collectGarbage(true)
 }
 
@@ -151,6 +160,10 @@ func (t *Tree) publishOp() error {
 // correctness. The returned error joins the operation's own error with any
 // rollback failure. The caller must hold the write lock on t.mu.
 func (t *Tree) abortOp(opErr error) error {
+	if ref := t.sidecar.Load(); ref != nil {
+		// Staging is the only sidecar state the failed bracket touched.
+		ref.sc.Abort()
+	}
 	rbErr := t.pool.Rollback()
 	st := t.state.Load()
 	t.root = st.root
@@ -325,7 +338,7 @@ func (v *TreeView) Search(query geom.Rect) ([]Entry, error) {
 	qc := t.getQctxAt(v.st.epoch)
 	defer t.releaseQctx(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	if err := t.collectDedup(v.st, qc, query); err != nil {
+	if err := t.searchRouted(v.st, qc, query); err != nil {
 		return nil, err
 	}
 	return materialize(qc.entries, t.cfg.Dims), nil
@@ -343,7 +356,7 @@ func (v *TreeView) SearchContainingFunc(query geom.Rect, fn func(Entry) bool) er
 	qc := t.getQctxAt(v.st.epoch)
 	defer t.releaseQctx(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	return t.containingFunc(v.st, qc, query, fn)
+	return t.containingRouted(v.st, qc, query, fn)
 }
 
 // SearchContaining implements View.
@@ -363,7 +376,7 @@ func (v *TreeView) Count(query geom.Rect) (int, error) {
 	qc := t.getQctxAt(v.st.epoch)
 	defer t.releaseQctx(qc)
 	atomic.AddUint64(&t.stats.Searches, 1)
-	return t.countQuery(v.st, qc, query)
+	return t.countRouted(v.st, qc, query)
 }
 
 // collectContaining materializes a containing-func traversal into

@@ -50,6 +50,10 @@ type Tree struct {
 	gcMu  sync.Mutex
 	gcMin atomic.Uint64
 
+	// sidecar is the optionally attached stab accelerator, kept
+	// epoch-consistent through the write bracket; see sidecar.go.
+	sidecar atomic.Pointer[sidecarRef]
+
 	mu     sync.RWMutex
 	root   page.ID
 	height int // number of levels; root level == height-1

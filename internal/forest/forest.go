@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"segidx/internal/accel"
 	"segidx/internal/buffer"
 	"segidx/internal/core"
 	"segidx/internal/fanout"
@@ -40,6 +41,7 @@ type Engine interface {
 	SetEpoch(uint64)
 	Snapshot() core.View
 	CommitEpoch() uint64
+	AccelStats() []accel.Stats
 }
 
 // Shard pairs a shard engine with the store it persists to (nil for
@@ -564,6 +566,16 @@ func (f *Forest) ShardPoolStats() []buffer.Stats {
 	out := make([]buffer.Stats, len(f.shards))
 	for i, s := range f.shards {
 		out[i] = s.PoolStats()
+	}
+	return out
+}
+
+// AccelStats concatenates the shards' stab-accelerator counters in shard
+// order (shards without an accelerator contribute nothing).
+func (f *Forest) AccelStats() []accel.Stats {
+	var out []accel.Stats
+	for _, s := range f.shards {
+		out = append(out, s.AccelStats()...)
 	}
 	return out
 }

@@ -93,6 +93,10 @@ type Spec struct {
 
 	// CheckInvariants validates each index after its build (slower).
 	CheckInvariants bool
+
+	// ExtraOptions are appended to every build's option list (e.g. the
+	// stab-accelerator options for the -accel showdown).
+	ExtraOptions []segidx.Option
 }
 
 // NewSpec returns a Spec with the paper's experimental parameters: 1 KiB
@@ -188,10 +192,12 @@ func Build(spec Spec, kind Kind) (*segidx.Index, time.Duration, error) {
 		for i, r := range data {
 			recs[i] = segidx.BulkRecord{Rect: r, ID: segidx.RecordID(i + 1)}
 		}
-		start := time.Now()
-		idx, err := segidx.BulkLoadRTree(recs, 1.0,
+		opts := append([]segidx.Option{
 			segidx.WithLeafNodeBytes(spec.LeafBytes),
-			segidx.WithNodeGrowth(spec.Growth))
+			segidx.WithNodeGrowth(spec.Growth),
+		}, spec.ExtraOptions...)
+		start := time.Now()
+		idx, err := segidx.BulkLoadRTree(recs, 1.0, opts...)
 		if err != nil {
 			return nil, 0, fmt.Errorf("harness: %v: %w", kind, err)
 		}
@@ -277,6 +283,7 @@ func buildIndex(spec Spec, kind Kind) (*segidx.Index, error) {
 		segidx.WithLeafPromotion(spec.LeafPromotion),
 		segidx.WithCoalescing(spec.CoalesceEvery, spec.CoalesceCandidates),
 	}
+	opts = append(opts, spec.ExtraOptions...)
 	est := segidx.SkeletonEstimate{
 		Tuples:          spec.Tuples,
 		Domain:          segidx.Box(workload.DomainLo, workload.DomainLo, workload.DomainHi, workload.DomainHi),

@@ -494,6 +494,9 @@ type EngineStats struct {
 	Stats       segidx.Stats       `json:"stats"`
 	Pool        segidx.PoolStats   `json:"pool"`
 	ShardPools  []segidx.PoolStats `json:"shard_pools,omitempty"`
+	// Accel lists the per-shard stab-accelerator sidecars (absent when
+	// none is attached).
+	Accel []segidx.AccelStats `json:"accel,omitempty"`
 }
 
 // snapshotMetrics assembles the full metrics document.
@@ -527,6 +530,7 @@ func (s *Server) snapshotMetrics() Metrics {
 	if m.Engine.Shards > 1 {
 		m.Engine.ShardPools = s.idx.ShardPoolStats()
 	}
+	m.Engine.Accel = s.idx.AccelStats()
 	return m
 }
 

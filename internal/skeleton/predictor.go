@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"segidx/internal/accel"
 	"segidx/internal/buffer"
 	"segidx/internal/core"
 	"segidx/internal/geom"
@@ -42,10 +43,11 @@ type Predictor struct {
 	sample   int
 	bins     int
 
-	mu    sync.RWMutex
-	buf   []buffered
-	epoch uint64     // forest flush epoch to stamp the tree with at build
-	tree  *core.Tree // nil until the skeleton is built
+	mu     sync.RWMutex
+	buf    []buffered
+	epoch  uint64                 // forest flush epoch to stamp the tree with at build
+	attach func(*core.Tree) error // optional hook run right after the skeleton is built
+	tree   *core.Tree             // nil until the skeleton is built
 
 	// muts counts mutating operations for CommitEpoch: a monotonic stamp
 	// that changes whenever the logical contents may have changed. It is
@@ -165,6 +167,13 @@ func (p *Predictor) buildLocked() error {
 	if err != nil {
 		return err
 	}
+	// The attach hook runs before the buffer drains so sidecars observe
+	// the drained inserts through the tree's normal write path.
+	if p.attach != nil {
+		if err := p.attach(tree); err != nil {
+			return err
+		}
+	}
 	for _, b := range p.buf {
 		if err := tree.Insert(b.rect, b.id); err != nil {
 			return err
@@ -174,6 +183,16 @@ func (p *Predictor) buildLocked() error {
 	tree.SetEpoch(p.epoch)
 	p.tree = tree
 	return nil
+}
+
+// SetAttach registers a hook run on the tree as soon as the skeleton is
+// built, before the sample buffer drains into it — the facade uses it to
+// attach a stab accelerator. Must be called before the sample completes
+// (in practice: before any Insert).
+func (p *Predictor) SetAttach(fn func(*core.Tree) error) {
+	p.mu.Lock()
+	p.attach = fn
+	p.mu.Unlock()
 }
 
 // SetEpoch stamps the predictor with a forest flush epoch (see
@@ -456,6 +475,15 @@ func (p *Predictor) PoolStats() buffer.Stats {
 		return t.PoolStats()
 	}
 	return buffer.Stats{}
+}
+
+// AccelStats returns the built tree's stab-accelerator counters (nil
+// while buffering: the sidecar attaches when the skeleton is built).
+func (p *Predictor) AccelStats() []accel.Stats {
+	if t := p.built(); t != nil {
+		return t.AccelStats()
+	}
+	return nil
 }
 
 // Flush persists the index; it finalizes the skeleton first.

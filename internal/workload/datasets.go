@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"segidx/internal/geom"
 )
@@ -51,10 +52,16 @@ const (
 	RE1
 	// RE2: rectangles, exponential centroids, exponential side lengths.
 	RE2
+	// TI: the temporal "increasing ending time" workload — line segments
+	// delivered in order of ascending right endpoint, modeling an
+	// append-mostly history where records close (acquire their ending
+	// time) roughly in the order they are committed. Ending times are
+	// uniform over the domain, lengths exponential (β=2000), Y uniform.
+	TI
 )
 
 // All lists every dataset in presentation order.
-func All() []Dataset { return []Dataset{I1, I2, I3, I4, R1, R2, RE1, RE2} }
+func All() []Dataset { return []Dataset{I1, I2, I3, I4, R1, R2, RE1, RE2, TI} }
 
 // String returns the paper's name for the dataset.
 func (d Dataset) String() string {
@@ -75,6 +82,8 @@ func (d Dataset) String() string {
 		return "RE1"
 	case RE2:
 		return "RE2"
+	case TI:
+		return "TI"
 	default:
 		return fmt.Sprintf("Dataset(%d)", int(d))
 	}
@@ -99,6 +108,8 @@ func (d Dataset) Describe() string {
 		return "rectangles: exponential centroids (β=7000), uniform sides U[0,100]"
 	case RE2:
 		return "rectangles: exponential centroids (β=7000), exponential sides (β=2000)"
+	case TI:
+		return "temporal: segments in increasing-ending-time order, exponential length (β=2000), uniform Y"
 	default:
 		return "unknown"
 	}
@@ -116,17 +127,21 @@ func ParseDataset(s string) (Dataset, error) {
 
 // IsInterval reports whether the dataset consists of horizontal line
 // segments (degenerate Y extent) rather than rectangles.
-func (d Dataset) IsInterval() bool { return d <= I4 }
+func (d Dataset) IsInterval() bool { return d <= I4 || d == TI }
 
 // Generate produces count records of the dataset in insertion order,
-// deterministically for the seed. The records are in random order already
-// (centers are drawn independently), matching the paper's "inserted in
-// random order".
+// deterministically for the seed. For most datasets the records are in
+// random order already (centers are drawn independently), matching the
+// paper's "inserted in random order"; TI delivers its records sorted by
+// ascending ending time, the arrival order a temporal history produces.
 func (d Dataset) Generate(count int, seed uint64) []geom.Rect {
 	rng := NewRNG(seed ^ uint64(d)<<32)
 	out := make([]geom.Rect, count)
 	for i := range out {
 		out[i] = d.next(rng)
+	}
+	if d == TI {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Max[0] < out[j].Max[0] })
 	}
 	return out
 }
@@ -154,6 +169,11 @@ func (d Dataset) next(rng *RNG) geom.Rect {
 	case RE2:
 		return box(rng.Exp(ExpValueBeta, DomainHi), rng.Exp(ExpValueBeta, DomainHi),
 			rng.Exp(ExpLengthBeta, 0), rng.Exp(ExpLengthBeta, 0))
+	case TI:
+		end := rng.Uniform(DomainLo, DomainHi)
+		start := clampDomain(end - rng.Exp(ExpLengthBeta, 0))
+		y := rng.Uniform(DomainLo, DomainHi)
+		return geom.Rect2(start, y, end, y)
 	default:
 		panic(fmt.Sprintf("workload: unknown dataset %d", int(d)))
 	}

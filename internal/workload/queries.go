@@ -39,3 +39,41 @@ func Queries(qar float64, count int, seed uint64) []geom.Rect {
 	}
 	return out
 }
+
+// TIRecentFraction is the share of TI stab times drawn near the frontier,
+// and TIRecentWindow the width of that frontier band as a fraction of the
+// domain: temporal workloads overwhelmingly ask "what is valid now?" with
+// an occasional time-travel query into history.
+const (
+	TIRecentFraction = 0.8
+	TIRecentWindow   = 0.05
+)
+
+// TIStabTimes generates count stab timestamps for the TI temporal
+// workload, deterministically for the seed. now is the current frontier
+// (the largest ending time committed so far, clamped to the domain);
+// TIRecentFraction of the draws land in the trailing TIRecentWindow band
+// below it and the rest are uniform time-travel points over [DomainLo,
+// now].
+func TIStabTimes(now float64, count int, seed uint64) []float64 {
+	if now > DomainHi {
+		now = DomainHi
+	}
+	if now < DomainLo {
+		now = DomainLo
+	}
+	recent := now - (DomainHi-DomainLo)*TIRecentWindow
+	if recent < DomainLo {
+		recent = DomainLo
+	}
+	rng := NewRNG(seed ^ math.Float64bits(now))
+	out := make([]float64, count)
+	for i := range out {
+		if rng.Float64() < TIRecentFraction {
+			out[i] = rng.Uniform(recent, now)
+		} else {
+			out[i] = rng.Uniform(DomainLo, now)
+		}
+	}
+	return out
+}

@@ -170,6 +170,70 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+func TestTIDataset(t *testing.T) {
+	const n = 5000
+	recs := TI.Generate(n, 13)
+	if len(recs) != n {
+		t.Fatalf("generated %d records", n)
+	}
+	var meanLen float64
+	for i, r := range recs {
+		if i > 0 && r.Max[0] < recs[i-1].Max[0] {
+			t.Fatalf("record %d ends at %g, before record %d at %g — not increasing",
+				i, r.Max[0], i-1, recs[i-1].Max[0])
+		}
+		if r.Length(1) != 0 {
+			t.Fatalf("record %d has Y extent %g, want segment", i, r.Length(1))
+		}
+		meanLen += r.Length(0)
+	}
+	meanLen /= n
+	if meanLen < 1500 || meanLen > 2500 {
+		t.Errorf("TI mean interval length = %g, want ~2000", meanLen)
+	}
+
+	// Determinism: same seed, identical records in identical order.
+	again := TI.Generate(n, 13)
+	for i := range recs {
+		if !recs[i].Equal(again[i]) {
+			t.Fatalf("same seed generated different record %d", i)
+		}
+	}
+	other := TI.Generate(n, 14)
+	same := 0
+	for i := range recs {
+		if recs[i].Equal(other[i]) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds generated %d identical records", same)
+	}
+}
+
+func TestTIStabTimes(t *testing.T) {
+	const now = 60000.0
+	ts := TIStabTimes(now, 10000, 21)
+	again := TIStabTimes(now, 10000, 21)
+	recent := 0
+	for i, v := range ts {
+		if v < DomainLo || v > now {
+			t.Fatalf("stab time %d = %g outside [0, %g]", i, v, now)
+		}
+		if v != again[i] {
+			t.Fatal("same seed generated different stab times")
+		}
+		if v >= now-(DomainHi-DomainLo)*TIRecentWindow {
+			recent++
+		}
+	}
+	// TIRecentFraction land in the frontier band by construction, plus the
+	// sliver of uniform history draws that fall there by chance.
+	if f := float64(recent) / float64(len(ts)); f < 0.75 || f > 0.92 {
+		t.Errorf("recent fraction = %g, want ~0.84", f)
+	}
+}
+
 func TestQueriesShape(t *testing.T) {
 	for _, qar := range QARs() {
 		qs := Queries(qar, 100, 11)

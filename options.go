@@ -3,6 +3,7 @@ package segidx
 import (
 	"fmt"
 
+	"segidx/internal/accel"
 	"segidx/internal/core"
 	"segidx/internal/store"
 )
@@ -18,6 +19,15 @@ type options struct {
 	par         int
 	shards      int
 	shardBudget int
+
+	// Stab-accelerator sidecar configuration; accelOn gates attachment.
+	accelOn        bool
+	accelDim       int
+	accelLevels    int
+	accelLo        float64
+	accelHi        float64
+	accelDomainSet bool
+	accelMode      accel.Mode
 }
 
 func resolve(opts []Option) (*options, error) {
@@ -226,6 +236,114 @@ func WithShardBudget(n int) Option {
 		o.shardBudget = n
 		return nil
 	}
+}
+
+// Default hot-dimension domain for WithStabAccel when neither
+// WithStabAccelDomain nor a skeleton estimate supplies one. Matches the
+// benchmark workload domain; out-of-domain values clamp to the edge cells
+// of the accelerator (exact answers, degraded balance).
+const (
+	defaultAccelLo = 0
+	defaultAccelHi = 100000
+)
+
+// WithStabAccel attaches a HINT-style hierarchical stab accelerator as a
+// sidecar over the given hot dimension: a main-memory index partitioning
+// that dimension's domain into 2^levels cells (levels in [1, 16]; 10–12
+// suits ~100k-value domains) that answers stabbing and narrow
+// intersection queries without touching tree pages. The sidecar is kept
+// epoch-consistent with the tree's MVCC commits, so snapshot reads see
+// matching answers; each shard of a forest gets its own sidecar. Queries
+// route between tree and sidecar through an adaptive cost gate — see
+// WithHybridMode. The hot-dimension domain defaults to the skeleton
+// estimate's domain when one is given, else [0, 100000]; override with
+// WithStabAccelDomain. Values outside the domain stay exact but crowd the
+// edge cells.
+//
+// Queries answered by the sidecar report each record's full original
+// rectangle, where the bare tree may report a cut record's narrower
+// intersecting-portion union; record ID sets are always identical.
+// Contents the sidecar cannot represent exactly (duplicate record IDs,
+// reopened pre-cut records) permanently degrade it to a dormant
+// pass-through — every query then runs on the tree.
+func WithStabAccel(dim, levels int) Option {
+	return func(o *options) error {
+		if dim < 0 {
+			return fmt.Errorf("segidx: negative accelerator dimension %d", dim)
+		}
+		if levels < 1 || levels > 16 {
+			return fmt.Errorf("segidx: accelerator levels %d outside [1, 16]", levels)
+		}
+		o.accelOn = true
+		o.accelDim = dim
+		o.accelLevels = levels
+		return nil
+	}
+}
+
+// WithStabAccelDomain sets the hot-dimension domain [lo, hi) the stab
+// accelerator partitions. Only meaningful with WithStabAccel.
+func WithStabAccelDomain(lo, hi float64) Option {
+	return func(o *options) error {
+		if !(lo < hi) {
+			return fmt.Errorf("segidx: empty accelerator domain [%g, %g]", lo, hi)
+		}
+		o.accelLo = lo
+		o.accelHi = hi
+		o.accelDomainSet = true
+		return nil
+	}
+}
+
+// WithHybridMode sets the stab accelerator's routing policy: HybridAuto
+// (default) lets the adaptive cost gate pick tree or sidecar per query
+// from observed latencies, HybridAlways routes every eligible query to
+// the sidecar, HybridOff keeps the sidecar maintained but unused. Only
+// meaningful with WithStabAccel.
+func WithHybridMode(m HybridMode) Option {
+	return func(o *options) error {
+		if m != HybridAuto && m != HybridAlways && m != HybridOff {
+			return fmt.Errorf("segidx: unknown hybrid mode %d", int32(m))
+		}
+		o.accelMode = m
+		return nil
+	}
+}
+
+// newStabAccel builds the configured accelerator for an index of the
+// given dimensionality (nil when none was requested). est, when non-nil
+// and the caller set no explicit domain, supplies the hot-dimension
+// bounds.
+func (o *options) newStabAccel(dims int, est *SkeletonEstimate) (*accel.Accel, error) {
+	if !o.accelOn {
+		return nil, nil
+	}
+	lo, hi := o.accelLo, o.accelHi
+	if !o.accelDomainSet {
+		lo, hi = defaultAccelLo, defaultAccelHi
+		if est != nil && est.Domain.Valid() && est.Domain.Dims() > o.accelDim &&
+			est.Domain.Min[o.accelDim] < est.Domain.Max[o.accelDim] {
+			lo, hi = est.Domain.Min[o.accelDim], est.Domain.Max[o.accelDim]
+		}
+	}
+	return accel.New(accel.Config{
+		Dims:   dims,
+		Dim:    o.accelDim,
+		Levels: o.accelLevels,
+		Lo:     lo,
+		Hi:     hi,
+		Mode:   o.accelMode,
+	})
+}
+
+// attachStabAccel builds and attaches the configured accelerator to one
+// tree (a no-op without WithStabAccel).
+func (o *options) attachStabAccel(t *core.Tree, est *SkeletonEstimate) error {
+	a, err := o.newStabAccel(t.Config().Dims, est)
+	if err != nil || a == nil {
+		return err
+	}
+	return t.AttachStabAccel(a)
 }
 
 // WithFile stores index pages in a single file at path. The index owns the

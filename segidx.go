@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"segidx/internal/accel"
 	"segidx/internal/buffer"
 	"segidx/internal/core"
 	"segidx/internal/forest"
@@ -36,6 +37,27 @@ type PoolStats = buffer.Stats
 
 // Report is a structural quality report; see (*Index).Analyze.
 type Report = core.Report
+
+// AccelStats holds one stab-accelerator sidecar's counters (routing
+// decisions, EWMA latencies, live slots); see WithStabAccel.
+type AccelStats = accel.Stats
+
+// HybridMode selects how queries route between the tree and an attached
+// stab accelerator; see WithHybridMode.
+type HybridMode = accel.Mode
+
+const (
+	// HybridAuto routes each eligible query adaptively, using observed
+	// latencies of both sides plus occasional probes of the disfavored one.
+	HybridAuto = accel.ModeAuto
+	// HybridAlways routes every eligible query to the accelerator.
+	HybridAlways = accel.ModeAlways
+	// HybridOff keeps the accelerator maintained but never routes to it.
+	HybridOff = accel.ModeOff
+)
+
+// ParseHybridMode parses "auto", "always", or "off" into a HybridMode.
+func ParseHybridMode(s string) (HybridMode, error) { return accel.ParseMode(s) }
 
 // Histogram estimates a per-dimension value distribution for skeleton
 // construction.
@@ -83,6 +105,7 @@ type engine interface {
 	Analyze() (*Report, error)
 	Snapshot() core.View
 	CommitEpoch() uint64
+	AccelStats() []accel.Stats
 }
 
 // Index is a segment index: one of R-Tree, SR-Tree, Skeleton R-Tree, or
@@ -237,6 +260,12 @@ func (x *Index) Stats() Stats { return x.eng.Stats() }
 // sweep shows how well the working set fits the pool budget.
 func (x *Index) PoolStats() PoolStats { return x.eng.PoolStats() }
 
+// AccelStats returns per-sidecar counters for stab accelerators attached
+// via WithStabAccel — one entry per accelerated shard, in shard order.
+// Empty when no accelerator is attached, or while a predictive skeleton
+// index is still buffering its sample.
+func (x *Index) AccelStats() []AccelStats { return x.eng.AccelStats() }
+
 // Flush persists dirty nodes and metadata to the page store.
 func (x *Index) Flush() error { return x.eng.Flush() }
 
@@ -340,6 +369,9 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 		if err != nil {
 			return fail(err)
 		}
+		if err := o.attachStabAccel(t, nil); err != nil {
+			return fail(err)
+		}
 		return newIndex(t, st, kind, owned, o), nil
 	}
 	if est.Tuples < 1 {
@@ -350,6 +382,9 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 		if err != nil {
 			return fail(err)
 		}
+		if o.accelOn {
+			p.SetAttach(func(t *core.Tree) error { return o.attachStabAccel(t, est) })
+		}
 		return newIndex(p, st, kind, owned, o), nil
 	}
 	t, err := core.NewSkeleton(cfg, st, core.Estimate{
@@ -358,6 +393,9 @@ func build(kind string, spanning bool, est *SkeletonEstimate, opts []Option) (*I
 		Hists:  est.Histograms,
 	})
 	if err != nil {
+		return fail(err)
+	}
+	if err := o.attachStabAccel(t, est); err != nil {
 		return fail(err)
 	}
 	return newIndex(t, st, kind, owned, o), nil
@@ -387,6 +425,9 @@ func BulkLoadRTree(records []BulkRecord, fill float64, opts ...Option) (*Index, 
 		return nil, err
 	}
 	t, err := core.BulkLoad(cfg, st, records, fill)
+	if err == nil {
+		err = o.attachStabAccel(t, nil)
+	}
 	if err != nil {
 		if owned {
 			err = errors.Join(err, st.Close())
@@ -445,6 +486,9 @@ func openStore(fs store.Store, opts []Option) (*Index, error) {
 	cfg.Spanning = meta.Spanning
 	t, err := core.Open(cfg, fs)
 	if err != nil {
+		return nil, errors.Join(err, fs.Close())
+	}
+	if err := o.attachStabAccel(t, nil); err != nil {
 		return nil, errors.Join(err, fs.Close())
 	}
 	kind := "r-tree"

@@ -77,15 +77,27 @@ func buildForest(kind string, spanning bool, est *SkeletonEstimate, o *options) 
 		var eng forest.Engine
 		switch {
 		case est == nil:
-			eng, err = core.New(scfg, st)
+			var t *core.Tree
+			if t, err = core.New(scfg, st); err == nil {
+				eng, err = t, o.attachStabAccel(t, nil)
+			}
 		case est.PredictFraction > 0:
-			eng, err = skeleton.New(scfg, st, est.Domain, perTuples, est.PredictFraction)
+			var p *skeleton.Predictor
+			if p, err = skeleton.New(scfg, st, est.Domain, perTuples, est.PredictFraction); err == nil {
+				if o.accelOn {
+					p.SetAttach(func(t *core.Tree) error { return o.attachStabAccel(t, est) })
+				}
+				eng = p
+			}
 		default:
-			eng, err = core.NewSkeleton(scfg, st, core.Estimate{
+			var t *core.Tree
+			if t, err = core.NewSkeleton(scfg, st, core.Estimate{
 				Tuples: perTuples,
 				Domain: est.Domain,
 				Hists:  est.Histograms,
-			})
+			}); err == nil {
+				eng, err = t, o.attachStabAccel(t, est)
+			}
 		}
 		if err != nil {
 			return fail(errors.Join(err, st.Close()))
@@ -165,6 +177,9 @@ func openForest(path string, durable bool, opts []Option) (*Index, error) {
 		if err != nil {
 			return fail(errors.Join(fmt.Errorf("segidx: forest shard %d: %w", i, err), st.Close()))
 		}
+		if err := o.attachStabAccel(t, nil); err != nil {
+			return fail(errors.Join(err, st.Close()))
+		}
 		shards = append(shards, forest.Shard{Eng: t, Store: st})
 	}
 	dims := shards[0].Eng.(*core.Tree).Config().Dims
@@ -229,6 +244,9 @@ func bulkLoadForest(records []BulkRecord, fill float64, o *options) (*Index, err
 			return fail(err)
 		}
 		t, err := core.BulkLoad(scfg, st, parts[i], fill)
+		if err == nil {
+			err = o.attachStabAccel(t, nil)
+		}
 		if err != nil {
 			return fail(errors.Join(err, st.Close()))
 		}
